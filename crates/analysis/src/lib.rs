@@ -1,0 +1,25 @@
+//! # dsm-analysis — statistics and reporting for phase-detection quality
+//!
+//! Implements the paper's evaluation metrics:
+//!
+//! * [`stats`] — mean / variance / coefficient of variation primitives;
+//! * [`cov`] — per-phase CoV of CPI and the *identifier CoV* (per-phase CoV
+//!   weighted by how many intervals belong to each phase, §II);
+//! * [`curve`] — the **CoV curve** (the paper's third contribution): CoV
+//!   against number of phases (a proxy for tuning overhead) across a
+//!   threshold sweep, with lower-envelope extraction and fixed-CoV /
+//!   fixed-phase-count queries;
+//! * [`table`] — fixed-width ASCII tables (Tables I/II reproduction);
+//! * [`plot`] — ASCII log-scale charts (Figures 2/4 reproduction) and CSV
+//!   export for external plotting.
+
+pub mod cov;
+pub mod curve;
+pub mod plot;
+pub mod stats;
+pub mod table;
+
+pub use cov::identifier_cov;
+pub use curve::{CovCurve, CurvePoint};
+pub use plot::AsciiChart;
+pub use table::Table;

@@ -1,0 +1,263 @@
+//! ASCII charts (log-y, multi-series) for rendering the paper's figures in
+//! a terminal, plus CSV export for external plotting.
+
+use std::io::{self, Write};
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub symbol: char,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series scatter chart on a character grid, with optional log-10
+/// y-axis (the paper's figures use log CoV axes).
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<Series>,
+    title: String,
+    x_label: String,
+    y_label: String,
+}
+
+impl AsciiChart {
+    pub fn new<S: Into<String>>(title: S, width: usize, height: usize) -> Self {
+        assert!(width >= 10 && height >= 4);
+        Self {
+            width,
+            height,
+            log_y: false,
+            series: Vec::new(),
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    pub fn labels<S: Into<String>>(mut self, x: S, y: S) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    pub fn series<S: Into<String>>(&mut self, name: S, symbol: char, points: Vec<(f64, f64)>) {
+        self.series.push(Series { name: name.into(), symbol, points });
+    }
+
+    fn y_transform(&self, y: f64) -> f64 {
+        if self.log_y {
+            y.max(1e-6).log10()
+        } else {
+            y
+        }
+    }
+
+    /// Render the chart to a string.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            let ty = self.y_transform(y);
+            ymin = ymin.min(ty);
+            ymax = ymax.max(ty);
+        }
+        if (xmax - xmin).abs() < 1e-12 {
+            xmax = xmin + 1.0;
+        }
+        if (ymax - ymin).abs() < 1e-12 {
+            ymax = ymin + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - xmin) / (xmax - xmin) * (self.width - 1) as f64).round() as usize;
+                let ty = self.y_transform(y);
+                let cy = ((ymax - ty) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
+                let cell = &mut grid[cy.min(self.height - 1)][cx.min(self.width - 1)];
+                // First series wins on collision unless the cell is free.
+                if *cell == ' ' {
+                    *cell = s.symbol;
+                }
+            }
+        }
+
+        let y_disp = |t: f64| if self.log_y { 10f64.powf(t) } else { t };
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("y: {}{}\n", self.y_label, if self.log_y { " (log)" } else { "" }));
+        }
+        for (r, row) in grid.iter().enumerate() {
+            let frac = r as f64 / (self.height - 1) as f64;
+            let yv = y_disp(ymax - frac * (ymax - ymin));
+            out.push_str(&format!("{yv:>9.3} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>9} +{}\n",
+            "",
+            "-".repeat(self.width)
+        ));
+        out.push_str(&format!(
+            "{:>10} {:<.1}{}{:>.1}  ({})\n",
+            "",
+            xmin,
+            " ".repeat(self.width.saturating_sub(8)),
+            xmax,
+            self.x_label
+        ));
+        for s in &self.series {
+            out.push_str(&format!("  {} = {}\n", s.symbol, s.name));
+        }
+        out
+    }
+}
+
+/// Render a classified phase stream as a one-line-per-phase ASCII timeline
+/// (a Gantt-style strip: `#` where the phase is active, `.` elsewhere),
+/// most-frequent phases first. `max_phases` rows are shown; the rest are
+/// folded into an "other" row.
+pub fn phase_timeline(ids: &[u32], max_phases: usize) -> String {
+    if ids.is_empty() {
+        return "(no intervals)\n".into();
+    }
+    let mut counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    for &id in ids {
+        *counts.entry(id).or_default() += 1;
+    }
+    let mut order: Vec<(u32, usize)> = counts.into_iter().collect();
+    order.sort_by_key(|&(id, n)| (std::cmp::Reverse(n), id));
+    let shown: Vec<u32> = order.iter().take(max_phases).map(|&(id, _)| id).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!("{} intervals, {} phases\n", ids.len(), order.len()));
+    for &id in &shown {
+        out.push_str(&format!("phase {id:>4} |"));
+        for &x in ids {
+            out.push(if x == id { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    if order.len() > shown.len() {
+        out.push_str(&format!("{:>10} |", "other"));
+        for &x in ids {
+            out.push(if shown.contains(&x) { '.' } else { '#' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write rows as CSV (numeric cells formatted with full precision).
+pub fn write_csv<W: Write>(
+    w: &mut W,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    writeln!(w, "{}", headers.join(","))?;
+    for r in rows {
+        writeln!(w, "{}", r.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_grid() {
+        let mut c = AsciiChart::new("test", 40, 10).labels("# of Phases", "CoV");
+        c.series("BBV", 'o', vec![(1.0, 0.9), (10.0, 0.3), (25.0, 0.1)]);
+        let s = c.render();
+        assert!(s.contains("test"));
+        assert!(s.matches('o').count() >= 3);
+        assert!(s.contains("BBV"));
+    }
+
+    #[test]
+    fn log_scale_compresses_high_values() {
+        let mut lin = AsciiChart::new("lin", 30, 8);
+        lin.series("s", 'x', vec![(0.0, 0.01), (1.0, 1.0)]);
+        let mut log = AsciiChart::new("log", 30, 8).log_y();
+        log.series("s", 'x', vec![(0.0, 0.01), (1.0, 1.0)]);
+        // Both render; log version shows 0.01 farther from 1.0's row.
+        assert!(lin.render().contains('x'));
+        assert!(log.render().contains('x'));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let c = AsciiChart::new("empty", 20, 5);
+        assert!(c.render().contains("no data"));
+    }
+
+    #[test]
+    fn nonfinite_points_are_skipped() {
+        let mut c = AsciiChart::new("nan", 20, 5);
+        c.series("s", 'x', vec![(f64::NAN, 1.0), (1.0, 2.0)]);
+        assert!(c.render().matches('x').count() >= 1);
+    }
+
+    #[test]
+    fn timeline_renders_rows_per_phase() {
+        let ids = [0, 0, 1, 1, 0, 2];
+        let t = phase_timeline(&ids, 2);
+        assert!(t.starts_with("6 intervals, 3 phases"));
+        assert!(t.contains("phase    0 |##..#."));
+        assert!(t.contains("phase    1 |..##.."));
+        assert!(t.contains("other |.....#"), "folded row:\n{t}");
+    }
+
+    #[test]
+    fn timeline_handles_empty_and_single() {
+        assert!(phase_timeline(&[], 4).contains("no intervals"));
+        let t = phase_timeline(&[9, 9], 4);
+        assert!(t.contains("phase    9 |##"));
+        assert!(!t.contains("other"));
+    }
+
+    #[test]
+    fn csv_roundtrip_format() {
+        let mut buf = Vec::new();
+        write_csv(
+            &mut buf,
+            &["app", "phases", "cov"],
+            &[
+                vec!["LU".into(), "7".into(), "0.1".into()],
+                vec!["FMM".into(), "11".into(), "0.29".into()],
+            ],
+        )
+        .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.starts_with("app,phases,cov\n"));
+        assert!(s.contains("FMM,11,0.29"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Basic statistics over f64 samples (population moments, as appropriate
+//! for "all the per-interval CPI values in that phase").
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation: `stddev / mean`. Zero when the mean is ~zero
+/// (no meaningful normalization) or there are fewer than two samples.
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m.abs() <= f64::EPSILON {
+        0.0
+    } else {
+        stddev(xs) / m
+    }
+}
+
+/// Weighted mean of (value, weight) pairs; 0 when total weight is 0.
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> f64 {
+    let w: f64 = pairs.iter().map(|(_, w)| w).sum();
+    if w <= 0.0 {
+        0.0
+    } else {
+        pairs.iter().map(|(v, wi)| v * wi).sum::<f64>() / w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_of_constant_series_is_zero() {
+        assert_eq!(cov(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn cov_is_scale_free() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert!((cov(&a) - cov(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_of_zero_mean_is_zero() {
+        assert_eq!(cov(&[0.0, 0.0]), 0.0);
+        assert_eq!(cov(&[-1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_weights_properly() {
+        assert_eq!(weighted_mean(&[]), 0.0);
+        assert_eq!(weighted_mean(&[(1.0, 1.0), (3.0, 3.0)]), 2.5);
+        assert_eq!(weighted_mean(&[(7.0, 0.0)]), 0.0);
+    }
+
+    #[test]
+    fn single_sample_cov_is_zero() {
+        // A phase with one interval is perfectly homogeneous by definition
+        // (the paper: singleton phases make CoV "trivially zero").
+        assert_eq!(cov(&[42.0]), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Fixed-width ASCII table rendering (for reproducing Tables I and II and
+//! the experiment reports).
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            title: None,
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with box-drawing rules.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let sep = |l: char, m: char, r: char| {
+            let mut s = String::new();
+            s.push(l);
+            for (i, w) in widths.iter().enumerate() {
+                s.push_str(&"-".repeat(w + 2));
+                s.push(if i + 1 == ncols { r } else { m });
+            }
+            s.push('\n');
+            s
+        };
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                s.push_str(&format!(" {c:<w$} |"));
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        out.push_str(&sep('+', '+', '+'));
+        out.push_str(&fmt_row(&self.headers));
+        out.push_str(&sep('+', '+', '+'));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out.push_str(&sep('+', '+', '+'));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Parameter", "Value"]).with_title("TABLE I");
+        t.row(vec!["Processor Frequency", "2GHz"]);
+        t.row(vec!["L1", "16kB"]);
+        let s = t.render();
+        assert!(s.starts_with("TABLE I\n"));
+        assert!(s.contains("| Parameter           | Value |"));
+        assert!(s.contains("| L1                  | 16kB  |"));
+        // All lines same width.
+        let widths: std::collections::HashSet<usize> =
+            s.lines().skip(1).map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new(vec!["x"]);
+        let s = t.render();
+        assert!(s.contains("| x |"));
+        assert_eq!(t.n_rows(), 0);
+    }
+}

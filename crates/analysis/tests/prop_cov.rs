@@ -1,0 +1,108 @@
+//! Property tests for the CoV machinery: bounds, relabeling invariance,
+//! and the degenerate extremes the paper calls out.
+
+use proptest::prelude::*;
+
+use dsm_analysis::cov::{identifier_cov, phase_count};
+use dsm_analysis::curve::{CovCurve, CurvePoint};
+use dsm_analysis::stats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn identifier_cov_is_nonnegative_and_bounded(
+        pairs in prop::collection::vec((0u32..6, 0.01f64..100.0), 1..200),
+    ) {
+        let cov = identifier_cov(&pairs);
+        prop_assert!(cov >= 0.0);
+        // Weighted mean of per-phase CoVs is bounded by the max per-phase CoV,
+        // which for positive samples is bounded by sqrt(n).
+        let max_cov = pairs.len() as f64;
+        prop_assert!(cov <= max_cov);
+    }
+
+    #[test]
+    fn relabeling_phases_does_not_change_cov(
+        pairs in prop::collection::vec((0u32..5, 0.01f64..10.0), 1..100),
+        offset in 1u32..1000,
+    ) {
+        let relabeled: Vec<(u32, f64)> =
+            pairs.iter().map(|(p, c)| (p * 7 + offset, *c)).collect();
+        let a = identifier_cov(&pairs);
+        let b = identifier_cov(&relabeled);
+        prop_assert!((a - b).abs() < 1e-12);
+        prop_assert_eq!(phase_count(&pairs), phase_count(&relabeled));
+    }
+
+    #[test]
+    fn all_singletons_give_zero_cov(cpis in prop::collection::vec(0.01f64..100.0, 1..100)) {
+        // "in the extreme case, every sampling interval would constitute a
+        // distinct phase ... with CoV trivially zero".
+        let pairs: Vec<(u32, f64)> =
+            cpis.iter().enumerate().map(|(i, &c)| (i as u32, c)).collect();
+        prop_assert_eq!(identifier_cov(&pairs), 0.0);
+    }
+
+    #[test]
+    fn constant_cpi_gives_zero_cov_regardless_of_phases(
+        phases in prop::collection::vec(0u32..8, 1..100),
+        cpi in 0.1f64..10.0,
+    ) {
+        let pairs: Vec<(u32, f64)> = phases.iter().map(|&p| (p, cpi)).collect();
+        prop_assert!(identifier_cov(&pairs) < 1e-12);
+    }
+
+    #[test]
+    fn cov_scale_invariance(
+        xs in prop::collection::vec(0.1f64..100.0, 2..50),
+        k in 0.1f64..100.0,
+    ) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        prop_assert!((stats::cov(&xs) - stats::cov(&scaled)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn envelope_is_pointwise_minimal(
+        pts in prop::collection::vec((1.0f64..30.0, 0.0f64..2.0), 1..100),
+    ) {
+        let curve = CovCurve::new(
+            pts.iter()
+                .map(|&(phases, cov)| CurvePoint {
+                    phases,
+                    cov,
+                    bbv_threshold: 0.1,
+                    dds_threshold: None,
+                })
+                .collect(),
+        );
+        for (k, env_cov) in curve.lower_envelope(25) {
+            // No raw point at this phase count may lie below the envelope.
+            for &(phases, cov) in &pts {
+                if phases.round() as usize == k {
+                    prop_assert!(cov >= env_cov - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phases_at_cov_and_cov_at_phases_are_consistent(
+        pts in prop::collection::vec((1.0f64..30.0, 0.0f64..2.0), 1..50),
+    ) {
+        let curve = CovCurve::new(
+            pts.iter()
+                .map(|&(phases, cov)| CurvePoint {
+                    phases,
+                    cov,
+                    bbv_threshold: 0.1,
+                    dds_threshold: None,
+                })
+                .collect(),
+        );
+        if let Some(cov) = curve.cov_at_phases(15.0) {
+            let phases = curve.phases_at_cov(cov).unwrap();
+            prop_assert!(phases <= 15.5, "found at {phases} phases for cov {cov}");
+        }
+    }
+}

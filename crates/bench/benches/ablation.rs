@@ -1,0 +1,47 @@
+//! DDS ablation bench (DESIGN.md A1-A3): measures the ablated sweeps and
+//! prints the full/no-contention/no-distance/frequency-only comparison
+//! once per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_bench::bench_trace;
+use dsm_harness::sweep::{ablation_curve, DdsAblation};
+use dsm_workloads::App;
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dds_ablation");
+    group.sample_size(10);
+    let trace = bench_trace(App::Lu, 8);
+    for (name, which) in [
+        ("full", DdsAblation::Full),
+        ("no_contention", DdsAblation::NoContention),
+        ("no_distance", DdsAblation::NoDistance),
+        ("frequency_only", DdsAblation::FrequencyOnly),
+    ] {
+        let curve = ablation_curve(&trace, which);
+        eprintln!(
+            "[ablation] LU 8P {name}: cov@10 = {:?}",
+            curve.cov_at_phases(10.0).map(|v| (v * 1000.0).round() / 1000.0)
+        );
+        group.bench_with_input(BenchmarkId::new("LU_8p", name), &which, |b, &w| {
+            b.iter(|| ablation_curve(&trace, w))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows so a full `cargo bench --workspace` stays
+/// in minutes while keeping stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the detector hardware structures: BBV accumulator
+//! updates, footprint-table classification, frequency-matrix recording and
+//! end-of-interval DDS queries — the per-commit and per-interval costs the
+//! paper argues are "modest in size and complexity".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsm_phase::bbv::BbvAccumulator;
+use dsm_phase::ddv::DdvState;
+use dsm_phase::footprint::FootprintTable;
+
+fn bbv_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bbv_record");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("1024_commits", |b| {
+        let mut acc = BbvAccumulator::new(32);
+        b.iter(|| {
+            for i in 0..1024u32 {
+                acc.record(i.wrapping_mul(2654435761), 12);
+            }
+            acc.reset();
+        })
+    });
+    group.finish();
+}
+
+fn footprint_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("footprint_classify");
+    for fill in [4usize, 32] {
+        group.bench_with_input(BenchmarkId::new("entries", fill), &fill, |b, &fill| {
+            let mut table = FootprintTable::new(32);
+            // Pre-populate `fill` distinct signatures.
+            for i in 0..fill {
+                let mut v = vec![0.0; 32];
+                v[i % 32] = 1.0;
+                table.classify(&v, i as f64, 1e-9, None);
+            }
+            let probe = {
+                let mut v = vec![0.0; 32];
+                v[0] = 0.6;
+                v[1] = 0.4;
+                v
+            };
+            b.iter(|| table.classify(&probe, 1.0, 0.2, Some(0.2)))
+        });
+    }
+    group.finish();
+}
+
+fn ddv_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddv");
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("record_access", n), &n, |b, &n| {
+            let mut ddv = DdvState::for_hypercube(n);
+            let mut h = 0usize;
+            b.iter(|| {
+                h = (h + 1) % n;
+                ddv.record_access(0, h);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("end_interval", n), &n, |b, &n| {
+            let mut ddv = DdvState::for_hypercube(n);
+            for p in 0..n {
+                for h in 0..n {
+                    ddv.record_access(p, h);
+                }
+            }
+            b.iter(|| ddv.end_interval(0))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows so a full `cargo bench --workspace` stays
+/// in minutes while keeping stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bbv_record, footprint_classify, ddv_paths
+}
+criterion_main!(benches);

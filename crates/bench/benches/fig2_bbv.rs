@@ -1,0 +1,64 @@
+//! Figure 2 regeneration bench: baseline BBV CoV curves per application
+//! and node count. Measures the offline classification sweep over a cached
+//! trace (the paper's 200-threshold methodology, scaled to 50 points for
+//! bench cadence), and prints the regenerated envelope once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_bench::{bench_matrix, bench_trace};
+use dsm_harness::sweep::bbv_curve_with;
+
+fn fig2_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_bbv_sweep");
+    group.sample_size(10);
+    for (app, procs) in bench_matrix() {
+        let trace = bench_trace(app, procs);
+        // Print the regenerated data once (the bench's artefact).
+        let curve = bbv_curve_with(&trace, 50);
+        let env = curve.lower_envelope(25);
+        eprintln!(
+            "[fig2] {} {}P envelope: {:?}",
+            app.name(),
+            procs,
+            env.iter().map(|(k, v)| (*k, (v * 1000.0).round() / 1000.0)).collect::<Vec<_>>()
+        );
+        group.bench_with_input(
+            BenchmarkId::new(app.name(), procs),
+            &trace,
+            |b, trace| b.iter(|| bbv_curve_with(trace, 50)),
+        );
+    }
+    group.finish();
+}
+
+fn fig2_capture(c: &mut Criterion) {
+    // The simulation side of the pipeline (uncached capture).
+    let mut group = c.benchmark_group("fig2_capture");
+    group.sample_size(10);
+    for procs in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("LU", procs), &procs, |b, &p| {
+            b.iter(|| {
+                dsm_harness::trace::capture(
+                    dsm_harness::experiment::ExperimentConfig::test(dsm_workloads::App::Lu, p),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows so a full `cargo bench --workspace` stays
+/// in minutes while keeping stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = fig2_sweeps, fig2_capture
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 4 regeneration bench: BBV+DDV grid sweeps per application, with
+//! the BBV/DDV envelope comparison printed once per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_bench::{bench_matrix, bench_trace};
+use dsm_harness::sweep::{bbv_curve_with, bbv_ddv_curve_with};
+
+fn fig4_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_ddv_sweep");
+    group.sample_size(10);
+    for (app, procs) in bench_matrix() {
+        let trace = bench_trace(app, procs);
+        let bbv = bbv_curve_with(&trace, 20);
+        let ddv = bbv_ddv_curve_with(&trace, 10, 5);
+        eprintln!(
+            "[fig4] {} {}P: BBV cov@10={:?} BBV+DDV cov@10={:?}",
+            app.name(),
+            procs,
+            bbv.cov_at_phases(10.0).map(|v| (v * 1000.0).round() / 1000.0),
+            ddv.cov_at_phases(10.0).map(|v| (v * 1000.0).round() / 1000.0),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(app.name(), procs),
+            &trace,
+            |b, trace| b.iter(|| bbv_ddv_curve_with(trace, 10, 5)),
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows so a full `cargo bench --workspace` stays
+/// in minutes while keeping stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = fig4_sweeps
+}
+criterion_main!(benches);

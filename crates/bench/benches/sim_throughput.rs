@@ -1,0 +1,81 @@
+//! Simulator throughput: committed instructions per second of wall time
+//! for each workload, plus cache/branch-predictor microbenches. This is
+//! the substrate's speed budget for the figure regenerations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsm_sim::branch::Gshare;
+use dsm_sim::cache::Cache;
+use dsm_sim::config::SystemConfig;
+use dsm_sim::observer::NullObserver;
+use dsm_sim::system::System;
+use dsm_workloads::{make_stream, App, Scale};
+
+fn app_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_app");
+    group.sample_size(10);
+    for app in App::ALL {
+        // Pre-measure instruction volume for throughput units.
+        let insns = {
+            let cfg = SystemConfig::scaled(4, 64_000);
+            let stream = make_stream(app, 4, Scale::Test);
+            let (stats, _) = System::new(cfg, stream, NullObserver).run();
+            stats.total_insns()
+        };
+        group.throughput(Throughput::Elements(insns));
+        group.bench_with_input(BenchmarkId::new("4p_test", app.name()), &app, |b, &app| {
+            b.iter(|| {
+                let cfg = SystemConfig::scaled(4, 64_000);
+                let stream = make_stream(app, 4, Scale::Test);
+                System::new(cfg, stream, NullObserver).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_hit", |b| {
+        let mut l1 = Cache::new(SystemConfig::paper(2).l1);
+        l1.access(0x40, false);
+        b.iter(|| l1.access(0x40, false))
+    });
+    group.bench_function("l2_mixed", |b| {
+        let mut l2 = Cache::new(SystemConfig::paper(2).l2);
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x5f33) & 0x3f_ffff;
+            l2.access(a, a & 4 == 0)
+        })
+    });
+    group.finish();
+}
+
+fn gshare_predict(c: &mut Criterion) {
+    c.bench_function("gshare_predict_update", |b| {
+        let mut g = Gshare::new(2048);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            g.predict_and_update(i & 0xff, !i.is_multiple_of(3))
+        })
+    });
+}
+
+
+/// Short measurement windows so a full `cargo bench --workspace` stays
+/// in minutes while keeping stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = app_simulation, cache_access, gshare_predict
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Tables I & II regeneration bench: renders both tables (printed once)
+//! and measures the render path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_harness::tables::{table1, table2};
+
+fn tables(c: &mut Criterion) {
+    eprintln!("{}", table1().render());
+    eprintln!("{}", table2().render());
+    c.bench_function("table1_render", |b| b.iter(|| table1().render()));
+    c.bench_function("table2_render", |b| b.iter(|| table2().render()));
+}
+
+
+/// Short measurement windows so a full `cargo bench --workspace` stays
+/// in minutes while keeping stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = tables
+}
+criterion_main!(benches);

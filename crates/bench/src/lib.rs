@@ -1,0 +1,45 @@
+//! # dsm-bench — benchmark support
+//!
+//! Shared helpers for the Criterion benches that regenerate every table and
+//! figure of the paper (see `benches/`). The figure benches measure the
+//! *pipeline* (simulate → capture → sweep → envelope) at test scale so a
+//! full `cargo bench` stays fast, and print the regenerated artefacts once
+//! per run; absolute-scale regeneration is the harness binaries' job
+//! (`cargo run --release -p dsm-harness --bin fig2`).
+
+use std::sync::Arc;
+
+use dsm_harness::experiment::ExperimentConfig;
+use dsm_harness::trace::{capture_cached, SystemTrace};
+use dsm_workloads::App;
+
+/// Capture (once, cached) the standard bench trace for an app/size.
+pub fn bench_trace(app: App, n_procs: usize) -> Arc<SystemTrace> {
+    capture_cached(ExperimentConfig::test(app, n_procs))
+}
+
+/// All (app, size) pairs the figure benches cover.
+pub fn bench_matrix() -> Vec<(App, usize)> {
+    App::ALL
+        .iter()
+        .flat_map(|&a| [2usize, 8].into_iter().map(move |p| (a, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_traces_are_cached() {
+        let a = bench_trace(App::Lu, 2);
+        let b = bench_trace(App::Lu, 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.total_intervals() > 0);
+    }
+
+    #[test]
+    fn matrix_covers_all_apps() {
+        assert_eq!(bench_matrix().len(), 8);
+    }
+}

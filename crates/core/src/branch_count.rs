@@ -1,0 +1,117 @@
+//! Conditional-branch-count phase detection (Balasubramonian et al.), a
+//! related-work baseline (paper §V).
+//!
+//! The interval signature is a single scalar — the number of dynamic
+//! (conditional) branches committed. Intervals whose branch counts are
+//! within a relative threshold of a stored phase's count belong to that
+//! phase. This is the cheapest detector and the least discriminating: any
+//! two intervals executing *different* code with *similar* branch density
+//! are confused.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::relative_diff;
+
+/// Branch-count phase detector with an LRU table of scalar signatures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BranchCountDetector {
+    table: Vec<(f64, u32, u64)>, // (branch count, phase_id, last_used)
+    capacity: usize,
+    clock: u64,
+    next_phase_id: u32,
+}
+
+impl BranchCountDetector {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self { table: Vec::with_capacity(capacity), capacity, clock: 0, next_phase_id: 0 }
+    }
+
+    /// Classify an interval with `branches` committed branches under a
+    /// relative-difference `threshold`.
+    pub fn classify(&mut self, branches: u64, threshold: f64) -> u32 {
+        self.clock += 1;
+        let b = branches as f64;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (s, _, _)) in self.table.iter().enumerate() {
+            let d = relative_diff(b, *s);
+            if d < threshold && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        if let Some((i, _)) = best {
+            self.table[i].2 = self.clock;
+            return self.table[i].1;
+        }
+        let id = self.next_phase_id;
+        self.next_phase_id += 1;
+        let entry = (b, id, self.clock);
+        if self.table.len() < self.capacity {
+            self.table.push(entry);
+        } else {
+            let lru = self
+                .table
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+                .unwrap();
+            self.table[lru] = entry;
+        }
+        id
+    }
+
+    pub fn phases_allocated(&self) -> u32 {
+        self.next_phase_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similar_counts_share_a_phase() {
+        let mut d = BranchCountDetector::new(8);
+        let a = d.classify(10_000, 0.1);
+        let b = d.classify(10_500, 0.1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distant_counts_split_phases() {
+        let mut d = BranchCountDetector::new(8);
+        let a = d.classify(10_000, 0.1);
+        let b = d.classify(20_000, 0.1);
+        assert_ne!(a, b);
+        assert_eq!(d.phases_allocated(), 2);
+    }
+
+    #[test]
+    fn nearest_count_wins() {
+        let mut d = BranchCountDetector::new(8);
+        let p_low = d.classify(1_000, 0.9);
+        let _p_high = d.classify(100_000, 0.9);
+        // 1_100 is within 0.9 of both, but much closer to 1_000.
+        assert_eq!(d.classify(1_100, 0.9), p_low);
+    }
+
+    #[test]
+    fn cannot_distinguish_different_code_same_density() {
+        // The baseline's fundamental weakness, stated as a test.
+        let mut d = BranchCountDetector::new(8);
+        let loop_a = d.classify(5_000, 0.05); // some loop
+        let loop_b = d.classify(5_001, 0.05); // entirely different code
+        assert_eq!(loop_a, loop_b);
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut d = BranchCountDetector::new(2);
+        d.classify(100, 0.01);
+        d.classify(10_000, 0.01);
+        d.classify(1_000_000, 0.01); // evicts 100
+        let p = d.classify(100, 0.01);
+        assert_eq!(p, 3, "100 was evicted and must get a fresh phase id");
+    }
+}

@@ -1,0 +1,369 @@
+//! The Data Distribution Vector (DDV) — the paper's contribution (§III-B).
+//!
+//! Each node keeps a frequency matrix `F`: on behalf of every processor `i`
+//! in the system, it counts the loads/stores *this node* committed to blocks
+//! with home `j` since `i` last started a new interval. When processor `i`
+//! ends an interval it queries every node's `F_i` row (each node zeroes its
+//! row as it answers), sums the rows into the contention vector `C`, and
+//! computes the data distribution scalar
+//!
+//! ```text
+//! DDS = Σ_j  F[i][j] · D[i][j] · C[j]
+//! ```
+//!
+//! where `F[i][j]` are `i`'s own per-home access counts, `D` is the
+//! pre-programmed distance matrix (1 on the diagonal), and `C[j]` is the
+//! system-wide access frequency to home `j` during `i`'s interval.
+//!
+//! ### Implementation note: O(1) hardware-equivalent counters
+//!
+//! The paper's hardware increments *all* `F_kj, 1 ≤ k ≤ n` on every commit
+//! (n counters ticking in parallel). In software that would cost O(n) per
+//! memory event. We store instead one cumulative counter per home plus a
+//! per-requester snapshot taken at query time: `F_i[j] = cum[j] - snap[i][j]`.
+//! Since every `F_kj` in the paper's scheme counts exactly the accesses to
+//! home `j` between `k`'s queries, the two representations are equal at
+//! every query point — [`NaiveFrequencyMatrix`] implements the literal
+//! hardware scheme and the property tests assert the equivalence.
+
+use serde::{Deserialize, Serialize};
+
+/// One node's frequency matrix (snapshot representation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencyMatrix {
+    n: usize,
+    /// Cumulative committed accesses by this node, per home.
+    cum: Vec<u64>,
+    /// Per-requester snapshot of `cum` at its last query, row-major `[i][j]`.
+    snap: Vec<u64>,
+}
+
+impl FrequencyMatrix {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n, cum: vec![0; n], snap: vec![0; n * n] }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// This node committed a load/store to a block homed at `home`.
+    #[inline]
+    pub fn record(&mut self, home: usize) {
+        self.cum[home] += 1;
+    }
+
+    /// Answer requester `i`'s query: return `F_i` (accesses per home since
+    /// `i`'s last query) and zero the row, per the paper's protocol.
+    pub fn query(&mut self, i: usize) -> Vec<u64> {
+        let row = &mut self.snap[i * self.n..(i + 1) * self.n];
+        let delta: Vec<u64> = self.cum.iter().zip(row.iter()).map(|(c, s)| c - s).collect();
+        row.copy_from_slice(&self.cum);
+        delta
+    }
+
+    /// Read `F_i` without zeroing (diagnostics only; hardware can't do this).
+    pub fn peek(&self, i: usize) -> Vec<u64> {
+        self.snap[i * self.n..(i + 1) * self.n]
+            .iter()
+            .zip(&self.cum)
+            .map(|(s, c)| c - s)
+            .collect()
+    }
+
+    /// Reset everything (context switch).
+    pub fn clear(&mut self) {
+        self.cum.iter_mut().for_each(|c| *c = 0);
+        self.snap.iter_mut().for_each(|s| *s = 0);
+    }
+}
+
+/// Literal implementation of the paper's hardware: n×n counters, all rows
+/// incremented on every commit. Used to validate [`FrequencyMatrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveFrequencyMatrix {
+    n: usize,
+    /// `counts[i][j]`: accesses to home j on behalf of requester i.
+    counts: Vec<u64>,
+}
+
+impl NaiveFrequencyMatrix {
+    pub fn new(n: usize) -> Self {
+        Self { n, counts: vec![0; n * n] }
+    }
+
+    pub fn record(&mut self, home: usize) {
+        // "Every time processor p commits a load or a store ... it
+        // increments all F_kj, 1 <= k <= n."
+        for i in 0..self.n {
+            self.counts[i * self.n + home] += 1;
+        }
+    }
+
+    pub fn query(&mut self, i: usize) -> Vec<u64> {
+        let row = &mut self.counts[i * self.n..(i + 1) * self.n];
+        let out = row.to_vec();
+        row.iter_mut().for_each(|c| *c = 0);
+        out
+    }
+}
+
+/// A sample produced at the end of one processor's interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DdsSample {
+    /// `F_i`: the requester's own per-home access counts this interval.
+    pub fvec: Vec<u64>,
+    /// `C`: system-wide per-home access counts over the same window.
+    pub cvec: Vec<u64>,
+    /// The data distribution scalar.
+    pub dds: f64,
+}
+
+/// System-wide DDV state: one frequency matrix per node plus the
+/// pre-programmed distance matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DdvState {
+    n: usize,
+    mats: Vec<FrequencyMatrix>,
+    /// Distance matrix, row-major; `dist[i*n+j]`, 1.0 on the diagonal.
+    dist: Vec<f64>,
+    queries: u64,
+    vectors_exchanged: u64,
+}
+
+impl DdvState {
+    /// `dist` must be an n×n row-major matrix with `dist[i][i] == 1`.
+    pub fn new(n: usize, dist: Vec<f64>) -> Self {
+        assert_eq!(dist.len(), n * n, "distance matrix must be n x n");
+        for i in 0..n {
+            assert!(
+                (dist[i * n + i] - 1.0).abs() < 1e-12,
+                "D[i][i] must be 1 (paper definition)"
+            );
+        }
+        Self {
+            n,
+            mats: (0..n).map(|_| FrequencyMatrix::new(n)).collect(),
+            dist,
+            queries: 0,
+            vectors_exchanged: 0,
+        }
+    }
+
+    /// Convenience: build with the hypercube distance matrix `1 + hops`.
+    pub fn for_hypercube(n: usize) -> Self {
+        assert!(n.is_power_of_two());
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                dist[i * n + j] = if i == j {
+                    1.0
+                } else {
+                    1.0 + ((i ^ j) as u64).count_ones() as f64
+                };
+            }
+        }
+        Self::new(n, dist)
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Processor `p` committed an access to a block homed at `home`.
+    #[inline]
+    pub fn record_access(&mut self, p: usize, home: usize) {
+        self.mats[p].record(home);
+    }
+
+    /// Processor `i` ends an interval: gather all `F_i` rows (zeroing them),
+    /// build `C`, and compute the DDS.
+    pub fn end_interval(&mut self, i: usize) -> DdsSample {
+        self.queries += 1;
+        self.vectors_exchanged += (self.n - 1) as u64; // remote rows fetched
+        let mut cvec = vec![0u64; self.n];
+        let mut fvec = vec![0u64; self.n];
+        for (q, mat) in self.mats.iter_mut().enumerate() {
+            let row = mat.query(i);
+            for (c, r) in cvec.iter_mut().zip(&row) {
+                *c += r;
+            }
+            if q == i {
+                fvec = row;
+            }
+        }
+        let dds = Self::dds_of(&fvec, &self.dist[i * self.n..(i + 1) * self.n], &cvec);
+        DdsSample { fvec, cvec, dds }
+    }
+
+    /// The DDS formula over explicit vectors (exposed for ablations, which
+    /// recompute DDS with `C ≡ 1` or `D ≡ 1`).
+    pub fn dds_of(fvec: &[u64], dist_row: &[f64], cvec: &[u64]) -> f64 {
+        fvec.iter()
+            .zip(dist_row)
+            .zip(cvec)
+            .map(|((&f, &d), &c)| f as f64 * d * c as f64)
+            .sum()
+    }
+
+    /// Distance-matrix row for processor `i`.
+    pub fn dist_row(&self, i: usize) -> &[f64] {
+        &self.dist[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Total end-of-interval queries served (for the §III-B overhead model).
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Total remote `F_i` vectors exchanged.
+    pub fn vectors_exchanged(&self) -> u64 {
+        self.vectors_exchanged
+    }
+
+    /// Reset all counters (context switch).
+    pub fn clear(&mut self) {
+        for m in &mut self.mats {
+            m.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_returns_accesses_since_last_query() {
+        let mut f = FrequencyMatrix::new(4);
+        f.record(0);
+        f.record(0);
+        f.record(3);
+        assert_eq!(f.query(1), vec![2, 0, 0, 1]);
+        // Zeroed for requester 1, but requester 2 still sees everything.
+        assert_eq!(f.query(1), vec![0, 0, 0, 0]);
+        assert_eq!(f.query(2), vec![2, 0, 0, 1]);
+        f.record(2);
+        assert_eq!(f.query(1), vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn peek_does_not_zero() {
+        let mut f = FrequencyMatrix::new(2);
+        f.record(1);
+        assert_eq!(f.peek(0), vec![0, 1]);
+        assert_eq!(f.query(0), vec![0, 1]);
+        assert_eq!(f.peek(0), vec![0, 0]);
+    }
+
+    #[test]
+    fn snapshot_matches_naive_hardware() {
+        let mut fast = FrequencyMatrix::new(4);
+        let mut naive = NaiveFrequencyMatrix::new(4);
+        // Deterministic interleaving of records and queries.
+        let mut x = 7u64;
+        for step in 0..2000 {
+            x = dsm_sim::util::splitmix64(x);
+            if step % 13 == 0 {
+                let i = (x % 4) as usize;
+                assert_eq!(fast.query(i), naive.query(i), "at step {step}");
+            } else {
+                let home = (x % 4) as usize;
+                fast.record(home);
+                naive.record(home);
+            }
+        }
+    }
+
+    #[test]
+    fn dds_formula_matches_paper() {
+        // Two-node example like the paper's Fig. 3.
+        let fvec = [10u64, 5];
+        let dist = [1.0, 2.0];
+        let cvec = [20u64, 30];
+        // DDS = 10*1*20 + 5*2*30 = 200 + 300 = 500.
+        assert_eq!(DdvState::dds_of(&fvec, &dist, &cvec), 500.0);
+    }
+
+    #[test]
+    fn end_interval_gathers_all_nodes() {
+        let mut d = DdvState::for_hypercube(2);
+        // P0 makes 3 local accesses; P1 makes 2 accesses to home 0.
+        d.record_access(0, 0);
+        d.record_access(0, 0);
+        d.record_access(0, 0);
+        d.record_access(1, 0);
+        d.record_access(1, 0);
+        let s = d.end_interval(0);
+        assert_eq!(s.fvec, vec![3, 0]);
+        assert_eq!(s.cvec, vec![5, 0], "contention counts everyone's accesses");
+        // DDS = 3 * 1.0 * 5 = 15.
+        assert_eq!(s.dds, 15.0);
+        // Rows were zeroed for requester 0 only.
+        let s1 = d.end_interval(1);
+        assert_eq!(s1.cvec, vec![5, 0], "requester 1's window still open");
+    }
+
+    #[test]
+    fn remote_accesses_weighted_by_distance() {
+        let mut d = DdvState::for_hypercube(4);
+        // P0 accesses home 3 (2 hops away: dist = 3.0) five times.
+        for _ in 0..5 {
+            d.record_access(0, 3);
+        }
+        let s = d.end_interval(0);
+        // DDS = 5 * 3.0 * 5 = 75.
+        assert_eq!(s.dds, 75.0);
+    }
+
+    #[test]
+    fn contention_from_other_nodes_raises_dds() {
+        let run = |others: u64| {
+            let mut d = DdvState::for_hypercube(4);
+            for _ in 0..10 {
+                d.record_access(0, 1);
+            }
+            for _ in 0..others {
+                d.record_access(2, 1); // other node hammers home 1
+            }
+            d.end_interval(0).dds
+        };
+        assert!(run(100) > run(0), "hot home must raise requester DDS");
+    }
+
+    #[test]
+    fn queries_counted_for_overhead_model() {
+        let mut d = DdvState::for_hypercube(8);
+        d.end_interval(0);
+        d.end_interval(3);
+        assert_eq!(d.queries(), 2);
+        assert_eq!(d.vectors_exchanged(), 14);
+    }
+
+    #[test]
+    fn uniprocessor_degenerates_to_self_product() {
+        let mut d = DdvState::for_hypercube(1);
+        for _ in 0..4 {
+            d.record_access(0, 0);
+        }
+        let s = d.end_interval(0);
+        assert_eq!(s.dds, 16.0); // 4 * 1 * 4
+    }
+
+    #[test]
+    #[should_panic(expected = "D[i][i] must be 1")]
+    fn bad_diagonal_rejected() {
+        let _ = DdvState::new(2, vec![2.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut d = DdvState::for_hypercube(2);
+        d.record_access(0, 1);
+        d.clear();
+        let s = d.end_interval(0);
+        assert_eq!(s.fvec, vec![0, 0]);
+        assert_eq!(s.dds, 0.0);
+    }
+}

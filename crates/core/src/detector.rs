@@ -1,0 +1,578 @@
+//! End-to-end phase detectors and the offline trace classifier.
+//!
+//! Two ways to use the machinery:
+//!
+//! * [`OnlineDetector`] — a [`SimObserver`] that classifies every sampling
+//!   interval as it completes, exactly as the paper's hardware would
+//!   (BBV accumulator + DDV query + footprint-table lookup per interval).
+//! * [`TraceCollector`] + [`TraceClassifier`] — the collector records each
+//!   interval's *feature snapshot* (normalized BBV, `F_i`, `C`, DDS,
+//!   working-set signature, branch count, CPI) without classifying;
+//!   the classifier then replays the footprint-table logic offline for any
+//!   threshold. Because classification never feeds back into execution in
+//!   the paper's evaluation, sweeping 200 thresholds offline over one
+//!   captured trace is exactly equivalent to 200 simulated runs — an
+//!   integration test asserts online/offline agreement.
+
+use serde::{Deserialize, Serialize};
+
+use dsm_sim::observer::{IntervalStats, SimObserver};
+
+use crate::bbv::BbvAccumulator;
+use crate::ddv::DdvState;
+use crate::footprint::FootprintTable;
+use crate::working_set::WsSignature;
+use crate::{DEFAULT_BBV_ENTRIES, DEFAULT_FOOTPRINT_VECTORS};
+
+/// Which signature the classifier gates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectorMode {
+    /// Sherwood's uniprocessor baseline: BBV Manhattan distance only.
+    Bbv,
+    /// The paper's detector: BBV distance *and* DDS difference must both
+    /// fall under their thresholds.
+    BbvDdv,
+}
+
+/// Classification thresholds. `dds` is ignored in [`DetectorMode::Bbv`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// BBV Manhattan-distance threshold (normalized vectors; range [0, 2]).
+    pub bbv: f64,
+    /// Relative DDS-difference threshold (range [0, 1]).
+    pub dds: f64,
+}
+
+impl Thresholds {
+    pub fn bbv_only(bbv: f64) -> Self {
+        Self { bbv, dds: 1.0 }
+    }
+}
+
+/// Everything the hardware saw about one completed sampling interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalRecord {
+    pub proc: usize,
+    pub index: u64,
+    /// Committed non-sync instructions.
+    pub insns: u64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Normalized BBV accumulator.
+    pub bbv: Vec<f64>,
+    /// The requester's own per-home access counts (`F_i`).
+    pub fvec: Vec<u64>,
+    /// The contention vector (`C`).
+    pub cvec: Vec<u64>,
+    /// The data distribution scalar.
+    pub dds: f64,
+    /// Working-set signature words (Dhodapkar–Smith baseline).
+    pub ws_sig: Vec<u64>,
+    /// Committed dynamic branches (Balasubramonian baseline).
+    pub branches: u64,
+}
+
+impl IntervalRecord {
+    pub fn cpi(&self) -> f64 {
+        if self.insns == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.insns as f64
+        }
+    }
+}
+
+/// Per-interval output of the online detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedInterval {
+    pub proc: usize,
+    pub index: u64,
+    pub phase_id: u32,
+    pub is_new_phase: bool,
+    pub cpi: f64,
+}
+
+/// Size knobs shared by the observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorGeometry {
+    /// BBV accumulator entries (32 in the paper).
+    pub bbv_entries: usize,
+    /// Footprint-table vectors (32 in the paper).
+    pub footprint_vectors: usize,
+    /// Working-set signature bits (collector only).
+    pub ws_bits: usize,
+}
+
+impl Default for DetectorGeometry {
+    fn default() -> Self {
+        Self {
+            bbv_entries: DEFAULT_BBV_ENTRIES,
+            footprint_vectors: DEFAULT_FOOTPRINT_VECTORS,
+            ws_bits: 1024,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace collection (classification-free observer)
+// ---------------------------------------------------------------------------
+
+/// Records per-interval feature snapshots for offline classification.
+pub struct TraceCollector {
+    geometry: DetectorGeometry,
+    bbv: Vec<BbvAccumulator>,
+    ws: Vec<WsSignature>,
+    branches: Vec<u64>,
+    ddv: DdvState,
+    /// Captured records, per processor, in interval order.
+    pub records: Vec<Vec<IntervalRecord>>,
+}
+
+impl TraceCollector {
+    /// `dist` is the n×n DDV distance matrix (see
+    /// [`dsm_sim::network::Network::distance_matrix`]).
+    pub fn new(n_procs: usize, dist: Vec<f64>, geometry: DetectorGeometry) -> Self {
+        Self {
+            bbv: (0..n_procs).map(|_| BbvAccumulator::new(geometry.bbv_entries)).collect(),
+            ws: (0..n_procs).map(|_| WsSignature::new(geometry.ws_bits)).collect(),
+            branches: vec![0; n_procs],
+            ddv: DdvState::new(n_procs, dist),
+            records: vec![Vec::new(); n_procs],
+            geometry,
+        }
+    }
+
+    /// Hypercube convenience constructor.
+    pub fn for_hypercube(n_procs: usize, geometry: DetectorGeometry) -> Self {
+        Self {
+            bbv: (0..n_procs).map(|_| BbvAccumulator::new(geometry.bbv_entries)).collect(),
+            ws: (0..n_procs).map(|_| WsSignature::new(geometry.ws_bits)).collect(),
+            branches: vec![0; n_procs],
+            ddv: DdvState::for_hypercube(n_procs),
+            records: vec![Vec::new(); n_procs],
+            geometry,
+        }
+    }
+
+    pub fn geometry(&self) -> DetectorGeometry {
+        self.geometry
+    }
+
+    pub fn ddv(&self) -> &DdvState {
+        &self.ddv
+    }
+
+    /// Total intervals captured across all processors.
+    pub fn total_intervals(&self) -> usize {
+        self.records.iter().map(|r| r.len()).sum()
+    }
+}
+
+impl SimObserver for TraceCollector {
+    #[inline]
+    fn on_block_commit(&mut self, proc: usize, bb: u32, insns: u32) {
+        self.bbv[proc].record(bb, insns);
+        self.ws[proc].insert(bb);
+        self.branches[proc] += 1;
+    }
+
+    #[inline]
+    fn on_mem_commit(&mut self, proc: usize, home: usize, _addr: u64, _write: bool) {
+        self.ddv.record_access(proc, home);
+    }
+
+    fn on_interval(&mut self, proc: usize, stats: IntervalStats) {
+        let sample = self.ddv.end_interval(proc);
+        self.records[proc].push(IntervalRecord {
+            proc,
+            index: stats.index,
+            insns: stats.insns,
+            cycles: stats.cycles,
+            bbv: self.bbv[proc].normalized(),
+            fvec: sample.fvec,
+            cvec: sample.cvec,
+            dds: sample.dds,
+            ws_sig: self.ws[proc].words().to_vec(),
+            branches: self.branches[proc],
+        });
+        self.bbv[proc].reset();
+        self.ws[proc].clear();
+        self.branches[proc] = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Offline classification
+// ---------------------------------------------------------------------------
+
+/// Replays the footprint-table classification over captured records.
+pub struct TraceClassifier;
+
+impl TraceClassifier {
+    /// Classify one processor's interval sequence; returns the phase id per
+    /// interval (same order as `records`).
+    pub fn classify_proc(
+        records: &[IntervalRecord],
+        mode: DetectorMode,
+        thresholds: Thresholds,
+        footprint_vectors: usize,
+    ) -> Vec<u32> {
+        let mut table = FootprintTable::new(footprint_vectors);
+        records
+            .iter()
+            .map(|r| {
+                let dds_thr = match mode {
+                    DetectorMode::Bbv => None,
+                    DetectorMode::BbvDdv => Some(thresholds.dds),
+                };
+                table.classify(&r.bbv, r.dds, thresholds.bbv, dds_thr).phase_id
+            })
+            .collect()
+    }
+
+    /// Extension (not in the paper): classify on the *concatenation* of
+    /// the normalized BBV and the distance-weighted, normalized frequency
+    /// vector, under a single Manhattan threshold.
+    ///
+    /// The paper collapses `F·D·C` into the scalar DDS so the hardware
+    /// compares one number; keeping the vector preserves *which* homes were
+    /// hot, at the cost of `n` extra comparator lanes. `data_weight`
+    /// scales the data half relative to the code half (0 recovers plain
+    /// BBV behaviour; the combined vector then sums to `1 + data_weight`,
+    /// so thresholds live in `[0, 2(1 + data_weight)]`).
+    pub fn classify_proc_vector_ddv(
+        records: &[IntervalRecord],
+        dist_row: &[f64],
+        bbv_threshold: f64,
+        data_weight: f64,
+        footprint_vectors: usize,
+    ) -> Vec<u32> {
+        let mut table = FootprintTable::new(footprint_vectors);
+        records
+            .iter()
+            .map(|r| {
+                let mut v = r.bbv.clone();
+                // Distance-weighted access frequencies, normalized so the
+                // data half carries `data_weight` total mass.
+                let weighted: Vec<f64> = r
+                    .fvec
+                    .iter()
+                    .zip(dist_row)
+                    .map(|(&f, &d)| f as f64 * d)
+                    .collect();
+                let total: f64 = weighted.iter().sum();
+                if total > 0.0 {
+                    v.extend(weighted.iter().map(|w| w / total * data_weight));
+                } else {
+                    v.extend(std::iter::repeat_n(0.0, weighted.len()));
+                }
+                table.classify(&v, 0.0, bbv_threshold, None).phase_id
+            })
+            .collect()
+    }
+
+    /// Classify with an externally recomputed DDS per interval (ablations:
+    /// `C ≡ 1`, `D ≡ 1`, DDS-only).
+    pub fn classify_proc_with_dds(
+        records: &[IntervalRecord],
+        dds: &[f64],
+        thresholds: Thresholds,
+        footprint_vectors: usize,
+    ) -> Vec<u32> {
+        assert_eq!(records.len(), dds.len());
+        let mut table = FootprintTable::new(footprint_vectors);
+        records
+            .iter()
+            .zip(dds)
+            .map(|(r, &d)| {
+                table
+                    .classify(&r.bbv, d, thresholds.bbv, Some(thresholds.dds))
+                    .phase_id
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online detection (the hardware path)
+// ---------------------------------------------------------------------------
+
+/// Classifies intervals as they complete, like the paper's hardware.
+pub struct OnlineDetector {
+    mode: DetectorMode,
+    thresholds: Thresholds,
+    bbv: Vec<BbvAccumulator>,
+    ddv: DdvState,
+    tables: Vec<FootprintTable>,
+    /// Classified intervals, per processor, in order.
+    pub classified: Vec<Vec<ClassifiedInterval>>,
+}
+
+impl OnlineDetector {
+    pub fn new(
+        n_procs: usize,
+        dist: Vec<f64>,
+        mode: DetectorMode,
+        thresholds: Thresholds,
+        geometry: DetectorGeometry,
+    ) -> Self {
+        Self {
+            mode,
+            thresholds,
+            bbv: (0..n_procs).map(|_| BbvAccumulator::new(geometry.bbv_entries)).collect(),
+            ddv: DdvState::new(n_procs, dist),
+            tables: (0..n_procs).map(|_| FootprintTable::new(geometry.footprint_vectors)).collect(),
+            classified: vec![Vec::new(); n_procs],
+        }
+    }
+
+    pub fn mode(&self) -> DetectorMode {
+        self.mode
+    }
+
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// The footprint table of one processor (inspection / persistence).
+    pub fn table(&self, proc: usize) -> &FootprintTable {
+        &self.tables[proc]
+    }
+
+    /// Phase id of the most recent interval on `proc`, if any.
+    pub fn current_phase(&self, proc: usize) -> Option<u32> {
+        self.classified[proc].last().map(|c| c.phase_id)
+    }
+
+    /// Access to mutable internals for context save/restore.
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (&mut Vec<BbvAccumulator>, &mut DdvState, &mut Vec<FootprintTable>) {
+        (&mut self.bbv, &mut self.ddv, &mut self.tables)
+    }
+}
+
+impl SimObserver for OnlineDetector {
+    #[inline]
+    fn on_block_commit(&mut self, proc: usize, bb: u32, insns: u32) {
+        self.bbv[proc].record(bb, insns);
+    }
+
+    #[inline]
+    fn on_mem_commit(&mut self, proc: usize, home: usize, _addr: u64, _write: bool) {
+        self.ddv.record_access(proc, home);
+    }
+
+    fn on_interval(&mut self, proc: usize, stats: IntervalStats) {
+        let sample = self.ddv.end_interval(proc);
+        let bbv = self.bbv[proc].normalized();
+        let dds_thr = match self.mode {
+            DetectorMode::Bbv => None,
+            DetectorMode::BbvDdv => Some(self.thresholds.dds),
+        };
+        let m = self.tables[proc].classify(&bbv, sample.dds, self.thresholds.bbv, dds_thr);
+        self.classified[proc].push(ClassifiedInterval {
+            proc,
+            index: stats.index,
+            phase_id: m.phase_id,
+            is_new_phase: m.is_new,
+            cpi: stats.cpi(),
+        });
+        self.bbv[proc].reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(index: u64, insns: u64, cycles: u64) -> IntervalStats {
+        IntervalStats { index, insns, cycles }
+    }
+
+    /// Drive an observer with a synthetic two-code-signature stream.
+    fn drive(obs: &mut impl SimObserver, proc: usize, code: u32, homes: &[usize], idx: u64) {
+        for _ in 0..10 {
+            obs.on_block_commit(proc, code, 50);
+        }
+        for &h in homes {
+            obs.on_mem_commit(proc, h, 0x40 * h as u64, false);
+        }
+        obs.on_interval(proc, stats(idx, 500, 1000));
+    }
+
+    #[test]
+    fn collector_records_features_and_resets() {
+        let mut c = TraceCollector::for_hypercube(2, DetectorGeometry::default());
+        drive(&mut c, 0, 7, &[0, 0, 1], 0);
+        drive(&mut c, 0, 9, &[1, 1, 1], 1);
+        assert_eq!(c.records[0].len(), 2);
+        let r0 = &c.records[0][0];
+        assert_eq!(r0.fvec, vec![2, 1]);
+        assert_eq!(r0.insns, 500);
+        assert!((r0.cpi() - 2.0).abs() < 1e-12);
+        assert_eq!(r0.branches, 10);
+        // Second interval's counters started fresh.
+        let r1 = &c.records[0][1];
+        assert_eq!(r1.fvec, vec![0, 3]);
+        assert_eq!(r1.branches, 10);
+        // BBVs of different code differ.
+        assert_ne!(r0.bbv, r1.bbv);
+    }
+
+    #[test]
+    fn collector_contention_window_spans_other_procs() {
+        let mut c = TraceCollector::for_hypercube(2, DetectorGeometry::default());
+        // P1 hammers home 0 before P0's interval closes.
+        for _ in 0..5 {
+            c.on_mem_commit(1, 0, 0, false);
+        }
+        drive(&mut c, 0, 7, &[0], 0);
+        let r = &c.records[0][0];
+        assert_eq!(r.fvec, vec![1, 0]);
+        assert_eq!(r.cvec, vec![6, 0], "C includes P1's accesses");
+        assert!(r.dds >= 6.0);
+    }
+
+    #[test]
+    fn online_bbv_groups_same_code() {
+        let mut d = OnlineDetector::new(
+            1,
+            vec![1.0],
+            DetectorMode::Bbv,
+            Thresholds::bbv_only(0.5),
+            DetectorGeometry::default(),
+        );
+        drive(&mut d, 0, 7, &[0], 0);
+        drive(&mut d, 0, 7, &[0], 1);
+        drive(&mut d, 0, 99, &[0], 2);
+        let ids: Vec<u32> = d.classified[0].iter().map(|c| c.phase_id).collect();
+        assert_eq!(ids[0], ids[1]);
+        assert_ne!(ids[0], ids[2]);
+        assert!(d.classified[0][0].is_new_phase);
+        assert!(!d.classified[0][1].is_new_phase);
+    }
+
+    #[test]
+    fn online_ddv_splits_same_code_different_homes() {
+        // Same basic blocks, but interval 2 touches a distant, contended
+        // home: BBV alone groups them; BBV+DDV must split.
+        let dist = {
+            let n = 4;
+            let mut d = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    d[i * n + j] = if i == j { 1.0 } else { 1.0 + ((i ^ j) as u64).count_ones() as f64 };
+                }
+            }
+            d
+        };
+        let run = |mode| {
+            let mut det = OnlineDetector::new(
+                4,
+                dist.clone(),
+                mode,
+                Thresholds { bbv: 0.5, dds: 0.3 },
+                DetectorGeometry::default(),
+            );
+            drive(&mut det, 0, 7, &[0, 0, 0, 0], 0); // local
+            drive(&mut det, 0, 7, &[3, 3, 3, 3], 1); // remote (2 hops)
+            det.classified[0].iter().map(|c| c.phase_id).collect::<Vec<_>>()
+        };
+        let bbv = run(DetectorMode::Bbv);
+        assert_eq!(bbv[0], bbv[1], "BBV is blind to data distribution");
+        let ddv = run(DetectorMode::BbvDdv);
+        assert_ne!(ddv[0], ddv[1], "DDV must split local vs remote intervals");
+    }
+
+    #[test]
+    fn offline_classifier_matches_online() {
+        // Capture a trace and classify it offline; drive an online detector
+        // with the identical event sequence; results must agree.
+        let dist = vec![1.0, 2.0, 2.0, 1.0];
+        let geometry = DetectorGeometry::default();
+        let thresholds = Thresholds { bbv: 0.4, dds: 0.25 };
+
+        let mut coll = TraceCollector::new(2, dist.clone(), geometry);
+        let mut online = OnlineDetector::new(2, dist, DetectorMode::BbvDdv, thresholds, geometry);
+
+        let script: Vec<(u32, Vec<usize>)> = vec![
+            (7, vec![0, 0]),
+            (7, vec![0, 0]),
+            (9, vec![1, 1, 1]),
+            (7, vec![1, 1, 1, 1, 1, 1]),
+            (9, vec![1]),
+            (7, vec![0, 0]),
+        ];
+        for (i, (code, homes)) in script.iter().enumerate() {
+            drive(&mut coll, 0, *code, homes, i as u64);
+            drive(&mut online, 0, *code, homes, i as u64);
+        }
+
+        let offline = TraceClassifier::classify_proc(
+            &coll.records[0],
+            DetectorMode::BbvDdv,
+            thresholds,
+            geometry.footprint_vectors,
+        );
+        let online_ids: Vec<u32> = online.classified[0].iter().map(|c| c.phase_id).collect();
+        assert_eq!(offline, online_ids);
+    }
+
+    #[test]
+    fn vector_ddv_splits_by_home_mix_and_zero_weight_recovers_bbv() {
+        let mut coll = TraceCollector::for_hypercube(4, DetectorGeometry::default());
+        // Same code, three intervals: home 0, home 0, home 3.
+        drive(&mut coll, 0, 7, &[0, 0, 0], 0);
+        drive(&mut coll, 0, 7, &[0, 0, 0], 1);
+        drive(&mut coll, 0, 7, &[3, 3, 3], 2);
+        let recs = &coll.records[0];
+        let dist = dsm_phase_sim_dist(4, 0);
+
+        // With data weight, the home-3 interval becomes its own phase.
+        let ids = TraceClassifier::classify_proc_vector_ddv(recs, &dist, 0.5, 1.0, 32);
+        assert_eq!(ids[0], ids[1]);
+        assert_ne!(ids[0], ids[2], "home mix must split same-code intervals");
+
+        // With zero weight it degenerates to the BBV-only result.
+        let v0 = TraceClassifier::classify_proc_vector_ddv(recs, &dist, 0.5, 0.0, 32);
+        let bbv = TraceClassifier::classify_proc(
+            recs,
+            DetectorMode::Bbv,
+            Thresholds::bbv_only(0.5),
+            32,
+        );
+        assert_eq!(v0, bbv);
+    }
+
+    /// Hypercube distance row for tests.
+    fn dsm_phase_sim_dist(n: usize, i: usize) -> Vec<f64> {
+        (0..n)
+            .map(|j| if i == j { 1.0 } else { 1.0 + ((i ^ j) as u64).count_ones() as f64 })
+            .collect()
+    }
+
+    #[test]
+    fn classify_with_external_dds_supports_ablations() {
+        let mut coll = TraceCollector::for_hypercube(2, DetectorGeometry::default());
+        drive(&mut coll, 0, 7, &[0], 0);
+        drive(&mut coll, 0, 7, &[1], 1);
+        let recs = &coll.records[0];
+        // With DDS forced equal, identical code collapses to one phase.
+        let ids = TraceClassifier::classify_proc_with_dds(
+            recs,
+            &[5.0, 5.0],
+            Thresholds { bbv: 0.5, dds: 0.1 },
+            32,
+        );
+        assert_eq!(ids[0], ids[1]);
+        // With DDS forced apart, the same intervals split.
+        let ids = TraceClassifier::classify_proc_with_dds(
+            recs,
+            &[5.0, 500.0],
+            Thresholds { bbv: 0.5, dds: 0.1 },
+            32,
+        );
+        assert_ne!(ids[0], ids[1]);
+    }
+}

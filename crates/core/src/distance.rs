@@ -1,0 +1,66 @@
+//! Distance measures used by the classifiers.
+
+/// Manhattan (L1) distance between two equally sized vectors. For
+/// normalized BBVs the result lies in [0, 2].
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Relative difference between two non-negative scalars, in [0, 1]:
+/// `|a - b| / max(a, b)`, with 0 when both are ~zero.
+///
+/// The paper requires "a DDS difference below \[a\] pre-set threshold" without
+/// fixing the metric; a relative difference makes one threshold meaningful
+/// across applications whose absolute DDS magnitudes differ by orders of
+/// magnitude.
+#[inline]
+pub fn relative_diff(a: f64, b: f64) -> f64 {
+    debug_assert!(a >= 0.0 && b >= 0.0);
+    let m = a.max(b);
+    if m <= f64::EPSILON {
+        0.0
+    } else {
+        (a - b).abs() / m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_basics() {
+        assert_eq!(manhattan(&[0.0, 1.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(manhattan(&[1.0, 0.0], &[0.0, 1.0]), 2.0);
+        assert!((manhattan(&[0.5, 0.5], &[0.25, 0.75]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_bounds_for_normalized_vectors() {
+        // Two distributions: distance is at most 2 (disjoint support).
+        let a = [0.2, 0.3, 0.5, 0.0];
+        let b = [0.0, 0.0, 0.0, 1.0];
+        let d = manhattan(&a, &b);
+        assert!(d > 0.0 && d <= 2.0);
+    }
+
+    #[test]
+    fn relative_diff_basics() {
+        assert_eq!(relative_diff(0.0, 0.0), 0.0);
+        assert_eq!(relative_diff(10.0, 10.0), 0.0);
+        assert!((relative_diff(10.0, 5.0) - 0.5).abs() < 1e-12);
+        assert!((relative_diff(5.0, 10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_diff(0.0, 7.0), 1.0);
+    }
+
+    #[test]
+    fn relative_diff_is_symmetric_and_bounded() {
+        for (a, b) in [(1.0, 3.0), (100.0, 0.5), (1e12, 1e-3)] {
+            assert_eq!(relative_diff(a, b), relative_diff(b, a));
+            let d = relative_diff(a, b);
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The footprint table: previously observed interval signatures, with LRU
+//! replacement (the paper: "a 32-vector footprint table. We use a LRU
+//! replacement algorithm").
+//!
+//! Classification (paper §III-B): entries whose BBV Manhattan distance *and*
+//! DDS difference both fall under their thresholds are candidates; among
+//! candidates, the smallest Manhattan distance wins. If none qualifies, a
+//! new entry is allocated (evicting the LRU entry when full) and a fresh
+//! phase id is assigned — so every eviction-and-refill counts as a new
+//! phase, exactly as a hardware table would behave.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::{manhattan, relative_diff};
+
+/// One stored signature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Normalized BBV at allocation time.
+    pub bbv: Vec<f64>,
+    /// DDS at allocation time (unused in BBV-only mode).
+    pub dds: f64,
+    /// Phase identifier assigned when this entry was allocated.
+    pub phase_id: u32,
+    /// LRU timestamp.
+    last_used: u64,
+}
+
+/// Result of classifying one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Match {
+    /// Phase the interval was assigned to.
+    pub phase_id: u32,
+    /// True when a new table entry (new phase) was allocated.
+    pub is_new: bool,
+    /// Manhattan distance to the matched entry (0.0 for a new phase).
+    pub distance: f64,
+}
+
+/// The footprint table of one processor's detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FootprintTable {
+    entries: Vec<Entry>,
+    capacity: usize,
+    clock: u64,
+    next_phase_id: u32,
+    evictions: u64,
+}
+
+impl FootprintTable {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            next_phase_id: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Classify an interval signature.
+    ///
+    /// * `bbv` — the normalized accumulator;
+    /// * `dds` — the interval's DDS;
+    /// * `bbv_threshold` — Manhattan-distance threshold;
+    /// * `dds_threshold` — `Some(t)` in BBV+DDV mode (relative DDS
+    ///   difference must be `< t`), `None` in BBV-only mode.
+    pub fn classify(&mut self, bbv: &[f64], dds: f64, bbv_threshold: f64, dds_threshold: Option<f64>) -> Match {
+        self.clock += 1;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            let d = manhattan(bbv, &e.bbv);
+            if d >= bbv_threshold {
+                continue;
+            }
+            if let Some(t) = dds_threshold {
+                if relative_diff(dds, e.dds) >= t {
+                    continue;
+                }
+            }
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+
+        if let Some((i, d)) = best {
+            self.entries[i].last_used = self.clock;
+            return Match { phase_id: self.entries[i].phase_id, is_new: false, distance: d };
+        }
+
+        // Allocate a new entry (LRU eviction when full).
+        let phase_id = self.next_phase_id;
+        self.next_phase_id += 1;
+        let entry = Entry { bbv: bbv.to_vec(), dds, phase_id, last_used: self.clock };
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            self.entries[lru] = entry;
+            self.evictions += 1;
+        }
+        Match { phase_id, is_new: true, distance: 0.0 }
+    }
+
+    /// Number of phase ids ever allocated.
+    pub fn phases_allocated(&self) -> u32 {
+        self.next_phase_id
+    }
+
+    /// Number of LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Currently resident entries.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clear all entries and phase numbering (multiprogramming: "phase
+    /// information associated with threads can be cleared at the expense of
+    /// more tuning").
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.clock = 0;
+        self.next_phase_id = 0;
+        self.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: &[f64]) -> Vec<f64> {
+        vals.to_vec()
+    }
+
+    #[test]
+    fn first_interval_is_a_new_phase() {
+        let mut t = FootprintTable::new(4);
+        let m = t.classify(&v(&[1.0, 0.0]), 0.0, 0.5, None);
+        assert!(m.is_new);
+        assert_eq!(m.phase_id, 0);
+    }
+
+    #[test]
+    fn similar_interval_matches_same_phase() {
+        let mut t = FootprintTable::new(4);
+        t.classify(&v(&[0.5, 0.5]), 0.0, 0.2, None);
+        let m = t.classify(&v(&[0.55, 0.45]), 0.0, 0.2, None);
+        assert!(!m.is_new);
+        assert_eq!(m.phase_id, 0);
+        assert!((m.distance - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distant_interval_allocates_new_phase() {
+        let mut t = FootprintTable::new(4);
+        t.classify(&v(&[1.0, 0.0]), 0.0, 0.2, None);
+        let m = t.classify(&v(&[0.0, 1.0]), 0.0, 0.2, None);
+        assert!(m.is_new);
+        assert_eq!(m.phase_id, 1);
+        assert_eq!(t.phases_allocated(), 2);
+    }
+
+    #[test]
+    fn smallest_manhattan_wins_among_candidates() {
+        let mut t = FootprintTable::new(4);
+        t.classify(&v(&[0.5, 0.5]), 0.0, 2.1, None); // phase 0
+        t.classify(&v(&[0.9, 0.1]), 0.0, 0.2, None); // phase 1 (far from 0)
+        // Query close to phase 1, but phase 0 is also under the huge threshold.
+        let m = t.classify(&v(&[0.88, 0.12]), 0.0, 2.1, None);
+        assert_eq!(m.phase_id, 1);
+    }
+
+    #[test]
+    fn dds_gate_blocks_matches_in_ddv_mode() {
+        let mut t = FootprintTable::new(4);
+        t.classify(&v(&[0.5, 0.5]), 100.0, 0.2, Some(0.3));
+        // Identical BBV, wildly different DDS: must be a new phase.
+        let m = t.classify(&v(&[0.5, 0.5]), 1000.0, 0.2, Some(0.3));
+        assert!(m.is_new, "same code, different data distribution => new phase");
+        // Identical BBV, close DDS: matches phase 0.
+        let m = t.classify(&v(&[0.5, 0.5]), 110.0, 0.2, Some(0.3));
+        assert!(!m.is_new);
+        assert_eq!(m.phase_id, 0);
+    }
+
+    #[test]
+    fn bbv_only_mode_ignores_dds() {
+        let mut t = FootprintTable::new(4);
+        t.classify(&v(&[0.5, 0.5]), 100.0, 0.2, None);
+        let m = t.classify(&v(&[0.5, 0.5]), 1e9, 0.2, None);
+        assert!(!m.is_new);
+    }
+
+    #[test]
+    fn lru_eviction_creates_fresh_phase_ids() {
+        let mut t = FootprintTable::new(2);
+        // Three mutually distant one-hot signatures with a tight threshold.
+        let e0 = v(&[1.0, 0.0, 0.0]);
+        let e1 = v(&[0.0, 1.0, 0.0]);
+        let e2 = v(&[0.0, 0.0, 1.0]);
+        t.classify(&e0, 0.0, 0.1, None); // phase 0
+        t.classify(&e1, 0.0, 0.1, None); // phase 1
+        t.classify(&e2, 0.0, 0.1, None); // phase 2, evicts e0 (LRU)
+        assert_eq!(t.evictions(), 1);
+        // e0 again: it was evicted, so this is phase 3, evicting e1.
+        let m = t.classify(&e0, 0.0, 0.1, None);
+        assert!(m.is_new);
+        assert_eq!(m.phase_id, 3);
+        // e2 is still resident.
+        let m = t.classify(&e2, 0.0, 0.1, None);
+        assert!(!m.is_new);
+        assert_eq!(m.phase_id, 2);
+    }
+
+    #[test]
+    fn matching_refreshes_lru() {
+        let mut t = FootprintTable::new(2);
+        let e0 = v(&[1.0, 0.0, 0.0]);
+        let e1 = v(&[0.0, 1.0, 0.0]);
+        let e2 = v(&[0.0, 0.0, 1.0]);
+        t.classify(&e0, 0.0, 0.1, None);
+        t.classify(&e1, 0.0, 0.1, None);
+        t.classify(&e0, 0.0, 0.1, None); // refresh e0
+        t.classify(&e2, 0.0, 0.1, None); // must evict e1, not e0
+        let m = t.classify(&e0, 0.0, 0.1, None);
+        assert!(!m.is_new, "e0 was refreshed and must survive");
+    }
+
+    #[test]
+    fn zero_threshold_makes_every_interval_unique() {
+        let mut t = FootprintTable::new(32);
+        let x = v(&[0.5, 0.5]);
+        for _ in 0..5 {
+            let m = t.classify(&x, 0.0, 0.0, None);
+            assert!(m.is_new, "threshold 0 matches nothing (distance >= 0)");
+        }
+        assert_eq!(t.phases_allocated(), 5);
+    }
+
+    #[test]
+    fn huge_threshold_collapses_to_one_phase() {
+        let mut t = FootprintTable::new(32);
+        for i in 0..20 {
+            let x = v(&[i as f64 / 20.0, 1.0 - i as f64 / 20.0]);
+            t.classify(&x, 0.0, 2.1, None);
+        }
+        assert_eq!(t.phases_allocated(), 1);
+    }
+
+    #[test]
+    fn clear_resets_numbering() {
+        let mut t = FootprintTable::new(4);
+        t.classify(&v(&[1.0]), 0.0, 0.1, None);
+        t.clear();
+        assert_eq!(t.phases_allocated(), 0);
+        assert!(t.entries().is_empty());
+        let m = t.classify(&v(&[1.0]), 0.0, 0.1, None);
+        assert_eq!(m.phase_id, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerate the paper's Figure 2 (baseline BBV CoV curves at 2/8/32
+//! processors for LU, FMM, Art, Equake).
+//!
+//! Usage: `fig2 [--scale test|scaled|paper]` (default: scaled).
+
+use dsm_harness::figures::{figure2, headline_lu};
+use dsm_harness::report;
+use dsm_workloads::Scale;
+
+fn parse_scale() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
+            Some("test") => Scale::Test,
+            Some("scaled") => Scale::Scaled,
+            Some("paper") => Scale::Paper,
+            other => panic!("unknown scale {other:?} (test|scaled|paper)"),
+        },
+        None => Scale::Scaled,
+    }
+}
+
+fn main() {
+    let scale = parse_scale();
+    let t0 = std::time::Instant::now();
+    let fig = figure2(scale);
+    let ascii = fig.render_ascii();
+    println!("{ascii}");
+
+    let lu = headline_lu(scale);
+    let mut headline = String::from("LU headline (paper SIII-A):\n");
+    for (p, cov) in &lu.cov_at_7_phases {
+        headline.push_str(&format!(
+            "  {p:>2}P: CoV at 7 phases = {}\n",
+            cov.map(|c| format!("{:.1} %", c * 100.0)).unwrap_or_else(|| "n/a".into())
+        ));
+    }
+    for (p, phases) in &lu.phases_for_20pct {
+        headline.push_str(&format!(
+            "  {p:>2}P: phases for 20 % CoV = {}\n",
+            phases.map(|x| format!("{x:.0}")).unwrap_or_else(|| ">25 / n/a".into())
+        ));
+    }
+    println!("{headline}");
+
+    let (h, rows) = fig.csv();
+    report::announce(&report::write_csv("fig2.csv", &h, &rows).expect("write csv"));
+    report::announce(
+        &report::write_text("fig2.txt", &format!("{ascii}\n{headline}")).expect("write txt"),
+    );
+    eprintln!("fig2 done in {:?}", t0.elapsed());
+}

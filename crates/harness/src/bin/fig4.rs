@@ -1,0 +1,60 @@
+//! Regenerate the paper's Figure 4 (BBV vs BBV+DDV CoV curves at 8 and 32
+//! processors for LU, FMM, Art, Equake) and the §IV FMM headline.
+//!
+//! Usage: `fig4 [--scale test|scaled|paper]` (default: scaled).
+
+use dsm_harness::figures::{figure4, headline_fmm};
+use dsm_harness::report;
+use dsm_workloads::Scale;
+
+fn parse_scale() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
+            Some("test") => Scale::Test,
+            Some("scaled") => Scale::Scaled,
+            Some("paper") => Scale::Paper,
+            other => panic!("unknown scale {other:?} (test|scaled|paper)"),
+        },
+        None => Scale::Scaled,
+    }
+}
+
+fn main() {
+    let scale = parse_scale();
+    let t0 = std::time::Instant::now();
+    let fig = figure4(scale);
+    let ascii = fig.render_ascii();
+    println!("{ascii}");
+
+    let mut headline = String::from("FMM headline (paper SIV):\n");
+    for p in [8usize, 32] {
+        let h = headline_fmm(scale, p, 25.0);
+        headline.push_str(&format!(
+            "  {p:>2}P at 25-phase budget: BBV CoV = {}, BBV+DDV CoV = {}\n",
+            fmt_pct(h.bbv_cov_at_budget),
+            fmt_pct(h.ddv_cov_at_budget)
+        ));
+        headline.push_str(&format!(
+            "  {p:>2}P phases to reach the BBV's CoV: BBV = {}, BBV+DDV = {}\n",
+            fmt_f(h.bbv_phases_at_target),
+            fmt_f(h.ddv_phases_at_target)
+        ));
+    }
+    println!("{headline}");
+
+    let (h, rows) = fig.csv();
+    report::announce(&report::write_csv("fig4.csv", &h, &rows).expect("write csv"));
+    report::announce(
+        &report::write_text("fig4.txt", &format!("{ascii}\n{headline}")).expect("write txt"),
+    );
+    eprintln!("fig4 done in {:?}", t0.elapsed());
+}
+
+fn fmt_pct(x: Option<f64>) -> String {
+    x.map(|v| format!("{:.1} %", v * 100.0)).unwrap_or_else(|| "n/a".into())
+}
+
+fn fmt_f(x: Option<f64>) -> String {
+    x.map(|v| format!("{v:.1}")).unwrap_or_else(|| "n/a".into())
+}

@@ -1,0 +1,63 @@
+//! Calibration probe: prints trace statistics and summary CoV-curve
+//! comparisons for every app × node count, used to validate that the
+//! paper's qualitative shapes emerge at the scaled inputs.
+
+use dsm_harness::experiment::ExperimentConfig;
+use dsm_harness::sweep::{bbv_curve_with, bbv_ddv_curve_with};
+use dsm_harness::trace::capture;
+use dsm_workloads::App;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    for app in App::ALL {
+        for &p in &[2usize, 8, 32] {
+            let cfg = ExperimentConfig::scaled(app, p);
+            let start = std::time::Instant::now();
+            let trace = capture(cfg);
+            let sim_time = start.elapsed();
+            let s = &trace.stats;
+            let mean_cpi = s.mean_cpi();
+            let remote_frac = s
+                .procs
+                .iter()
+                .map(|pr| pr.remote_miss_fraction())
+                .sum::<f64>()
+                / p as f64;
+            let l2_mpki = s.procs.iter().map(|pr| pr.l2_misses as f64).sum::<f64>()
+                / (s.total_insns() as f64 / 1000.0);
+            let contention = s.procs.iter().map(|pr| pr.contention_cycles).sum::<u64>();
+            let sync_frac = s.procs.iter().map(|pr| pr.sync_wait_cycles).sum::<u64>() as f64
+                / s.procs.iter().map(|pr| pr.cycles).sum::<u64>() as f64;
+
+            // Per-proc CPI spread across intervals (signal for detectors).
+            let cpis: Vec<f64> = trace.records[0].iter().map(|r| r.cpi()).collect();
+            let cpi_cov = dsm_analysis::stats::cov(&cpis);
+
+            let start = std::time::Instant::now();
+            let bbv = bbv_curve_with(&trace, 60);
+            let ddv = bbv_ddv_curve_with(&trace, 12, 8);
+            let sweep_time = start.elapsed();
+
+            let b7 = bbv.cov_at_phases(7.0);
+            let d7 = ddv.cov_at_phases(7.0);
+            let b15 = bbv.cov_at_phases(15.0);
+            let d15 = ddv.cov_at_phases(15.0);
+            let b25 = bbv.cov_at_phases(25.0);
+            let d25 = ddv.cov_at_phases(25.0);
+            println!(
+                "{:>7} {:>3}p: ints/proc={:<4} insns={:>5.1}M cpi={:<5.2} rmiss={:<4.2} l2mpki={:<5.1} cont={:<9} sync={:<4.2} cpiCoV={:<5.2} | bbv@7={} ddv@7={} bbv@15={} ddv@15={} bbv@25={} ddv@25={} | sim {:?} sweep {:?}",
+                app.name(), p,
+                trace.min_intervals(),
+                s.total_insns() as f64 / 1e6,
+                mean_cpi, remote_frac, l2_mpki, contention, sync_frac, cpi_cov,
+                fmt(b7), fmt(d7), fmt(b15), fmt(d15), fmt(b25), fmt(d25),
+                sim_time, sweep_time,
+            );
+        }
+    }
+    println!("total {:?}", t0.elapsed());
+}
+
+fn fmt(x: Option<f64>) -> String {
+    x.map(|v| format!("{v:.3}")).unwrap_or_else(|| "--".into())
+}

@@ -1,0 +1,11 @@
+//! Print the paper's Table I (simulated architecture) and Table II
+//! (applications and input sets).
+
+use dsm_harness::report;
+use dsm_harness::tables::{table1, table2};
+
+fn main() {
+    let out = format!("{}\n{}", table1().render(), table2().render());
+    println!("{out}");
+    report::announce(&report::write_text("tables.txt", &out).expect("write"));
+}

@@ -1,0 +1,83 @@
+//! Experiment configuration: which application, how many nodes, what scale.
+
+use dsm_sim::config::SystemConfig;
+use dsm_workloads::{App, Scale};
+use serde::{Deserialize, Serialize};
+
+/// One (application, system size) experiment point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    pub app: App,
+    pub n_procs: usize,
+    pub scale: Scale,
+    /// System-wide interval base: each processor samples every
+    /// `interval_base / n_procs` committed non-sync instructions (the
+    /// paper's scaling rule; 3 M at paper scale).
+    pub interval_base: u64,
+}
+
+impl ExperimentConfig {
+    /// Default harness configuration at the reduced (`Scaled`) inputs.
+    pub fn scaled(app: App, n_procs: usize) -> Self {
+        Self { app, n_procs, scale: Scale::Scaled, interval_base: 128_000 }
+    }
+
+    /// Paper-scale configuration (Table I/II parameters).
+    pub fn paper(app: App, n_procs: usize) -> Self {
+        Self { app, n_procs, scale: Scale::Paper, interval_base: 3_000_000 }
+    }
+
+    /// Tiny configuration for tests.
+    pub fn test(app: App, n_procs: usize) -> Self {
+        Self { app, n_procs, scale: Scale::Test, interval_base: 16_000 }
+    }
+
+    /// The simulated machine for this experiment.
+    pub fn system_config(&self) -> SystemConfig {
+        match self.scale {
+            Scale::Paper => SystemConfig::with_interval_base(self.n_procs, self.interval_base),
+            // Reduced inputs keep the paper's working-set-to-cache ratio by
+            // shrinking the L2 (DESIGN.md §7).
+            Scale::Scaled | Scale::Test => {
+                SystemConfig::scaled(self.n_procs, self.interval_base)
+            }
+        }
+    }
+
+    /// Stable label for caches, filenames, and report headers.
+    pub fn label(&self) -> String {
+        format!("{}-{}p-{:?}-{}", self.app.name(), self.n_procs, self.scale, self.interval_base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_scaling_rule() {
+        let c = ExperimentConfig::paper(App::Lu, 8);
+        assert_eq!(c.system_config().interval_len(), 375_000);
+        let c = ExperimentConfig::scaled(App::Lu, 32);
+        assert_eq!(c.system_config().interval_len(), 4_000);
+    }
+
+    #[test]
+    fn scaled_config_shrinks_l2_only() {
+        let p = ExperimentConfig::paper(App::Fmm, 8).system_config();
+        let s = ExperimentConfig::scaled(App::Fmm, 8).system_config();
+        assert!(s.l2.size_bytes < p.l2.size_bytes);
+        assert_eq!(s.l1, p.l1);
+        assert_eq!(s.memory, p.memory);
+        assert_eq!(s.network, p.network);
+    }
+
+    #[test]
+    fn labels_are_unique_per_config() {
+        let a = ExperimentConfig::scaled(App::Lu, 8).label();
+        let b = ExperimentConfig::scaled(App::Lu, 32).label();
+        let c = ExperimentConfig::scaled(App::Fmm, 8).label();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

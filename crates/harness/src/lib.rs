@@ -1,0 +1,32 @@
+//! # dsm-harness — experiment orchestration
+//!
+//! Ties the simulator, workloads, detectors, and analysis together to
+//! regenerate every table and figure of the paper:
+//!
+//! * [`experiment`] — experiment configuration (app × node count × scale);
+//! * [`trace`] — one-simulation-per-configuration capture of per-interval
+//!   feature records, with an in-memory cache shared across sweeps;
+//! * [`sweep`] — threshold sweeps producing CoV curves for BBV, BBV+DDV,
+//!   the related-work baselines, and the DDS ablations;
+//! * [`figures`] — Figure 2 (baseline BBV at 2/8/32P) and Figure 4
+//!   (BBV vs BBV+DDV at 8/32P), as ASCII charts and CSV;
+//! * [`tables`] — Tables I and II;
+//! * [`overhead`] — the §III-B communication-overhead model (~160 kB/s,
+//!   <0.15 % of memory-controller bandwidth);
+//! * [`adaptive`] — the §II trial-and-error reconfiguration loop, to turn
+//!   CoV/phase-count numbers into end-to-end tuning cost;
+//! * [`report`] — results-directory output helpers.
+
+pub mod adaptive;
+pub mod experiment;
+pub mod figures;
+pub mod overhead;
+pub mod report;
+pub mod sensitivity;
+pub mod sweep;
+pub mod tables;
+pub mod trace;
+
+pub use experiment::ExperimentConfig;
+pub use sweep::{bbv_curve, bbv_ddv_curve};
+pub use trace::{capture, SystemTrace};

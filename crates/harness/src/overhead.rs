@@ -1,0 +1,165 @@
+//! The §III-B communication-overhead model.
+//!
+//! "The communication cost involved in the computation of DDS by processor
+//! i is n−1 exchanges with as many processors. Assuming 32 2GHz processors,
+//! IPC = 1, and a 'real-world' interval length of 100M instructions, the
+//! overall sustained bandwidth requirement of this mechanism is about
+//! 160kB/s. If modern memory controllers can handle 1.5GB/s, then the
+//! overhead of this mechanism is under 0.15% of the peak bandwidth."
+//!
+//! This module reproduces that arithmetic exactly, and additionally
+//! computes the *measured* overhead of a captured trace.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::SystemTrace;
+
+/// Analytic model inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    pub n_procs: usize,
+    /// Core frequency in Hz.
+    pub freq_hz: f64,
+    /// Sustained instructions per cycle.
+    pub ipc: f64,
+    /// Interval length in committed instructions.
+    pub interval_insns: f64,
+    /// Bytes per frequency-vector entry (one hardware counter).
+    pub entry_bytes: f64,
+    /// Reference memory-controller bandwidth in bytes/s.
+    pub controller_bw: f64,
+}
+
+impl OverheadModel {
+    /// The paper's §III-B parameters.
+    pub fn paper() -> Self {
+        Self {
+            n_procs: 32,
+            freq_hz: 2.0e9,
+            ipc: 1.0,
+            interval_insns: 100.0e6,
+            entry_bytes: 4.0,
+            controller_bw: 1.5e9,
+        }
+    }
+
+    /// Intervals per second per processor.
+    pub fn intervals_per_sec(&self) -> f64 {
+        self.freq_hz * self.ipc / self.interval_insns
+    }
+
+    /// Bytes moved per interval per node: it *receives* n−1 remote `F_i`
+    /// vectors of n entries and *serves* n−1 queries with its own n-entry
+    /// rows.
+    pub fn bytes_per_interval_per_node(&self) -> f64 {
+        let n = self.n_procs as f64;
+        2.0 * (n - 1.0) * n * self.entry_bytes
+    }
+
+    /// Sustained per-node bandwidth of the mechanism, bytes/s.
+    pub fn bytes_per_sec_per_node(&self) -> f64 {
+        self.bytes_per_interval_per_node() * self.intervals_per_sec()
+    }
+
+    /// Fraction of the reference controller bandwidth.
+    pub fn fraction_of_bw(&self) -> f64 {
+        self.bytes_per_sec_per_node() / self.controller_bw
+    }
+
+    pub fn report(&self) -> String {
+        format!(
+            "DDV communication overhead model\n\
+             n = {} processors, {} GHz, IPC = {}, interval = {} M instructions\n\
+             intervals/s per node     : {:.1}\n\
+             bytes/interval per node  : {:.0} (recv {} vectors + serve {} rows, {} B/entry)\n\
+             sustained bandwidth/node : {:.1} kB/s\n\
+             fraction of {} GB/s      : {:.4} %  (paper: ~160 kB/s, under 0.15 %)\n",
+            self.n_procs,
+            self.freq_hz / 1e9,
+            self.ipc,
+            self.interval_insns / 1e6,
+            self.intervals_per_sec(),
+            self.bytes_per_interval_per_node(),
+            self.n_procs - 1,
+            self.n_procs - 1,
+            self.entry_bytes,
+            self.bytes_per_sec_per_node() / 1e3,
+            self.controller_bw / 1e9,
+            self.fraction_of_bw() * 100.0
+        )
+    }
+}
+
+/// Measured overhead of a captured run: actual vectors exchanged over the
+/// actual simulated wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredOverhead {
+    pub vectors_exchanged: u64,
+    pub bytes_total: f64,
+    pub sim_seconds: f64,
+    pub bytes_per_sec_per_node: f64,
+}
+
+pub fn measured_overhead(trace: &SystemTrace, entry_bytes: f64) -> MeasuredOverhead {
+    let n = trace.config.n_procs as f64;
+    let freq_hz = trace.config.system_config().freq_mhz as f64 * 1e6;
+    let bytes_total = trace.ddv_vectors_exchanged as f64 * n * entry_bytes * 2.0;
+    let sim_seconds = trace.stats.finish_cycle as f64 / freq_hz;
+    MeasuredOverhead {
+        vectors_exchanged: trace.ddv_vectors_exchanged,
+        bytes_total,
+        sim_seconds,
+        bytes_per_sec_per_node: if sim_seconds > 0.0 {
+            bytes_total / sim_seconds / n
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arithmetic_reproduced() {
+        let m = OverheadModel::paper();
+        // 2 GHz * IPC 1 / 100M insns = 20 intervals/s.
+        assert!((m.intervals_per_sec() - 20.0).abs() < 1e-9);
+        // 2 * 31 * 32 * 4 B = 7936 B per interval per node.
+        assert!((m.bytes_per_interval_per_node() - 7936.0).abs() < 1e-9);
+        // 7936 * 20 = 158.72 kB/s — "about 160kB/s".
+        let kbs = m.bytes_per_sec_per_node() / 1e3;
+        assert!((kbs - 158.72).abs() < 0.01, "got {kbs}");
+        assert!(kbs > 150.0 && kbs < 170.0, "paper says about 160 kB/s");
+        // Under 0.15 % of 1.5 GB/s.
+        assert!(m.fraction_of_bw() < 0.0015);
+    }
+
+    #[test]
+    fn overhead_scales_quadratically_with_nodes() {
+        let m32 = OverheadModel::paper();
+        let m8 = OverheadModel { n_procs: 8, ..m32 };
+        let ratio = m32.bytes_per_sec_per_node() / m8.bytes_per_sec_per_node();
+        // (2*31*32)/(2*7*8) = 17.7x
+        assert!(ratio > 15.0 && ratio < 20.0);
+    }
+
+    #[test]
+    fn measured_overhead_from_trace() {
+        use crate::experiment::ExperimentConfig;
+        use dsm_workloads::App;
+        let t = crate::trace::capture(ExperimentConfig::test(App::Lu, 4));
+        let m = measured_overhead(&t, 4.0);
+        assert!(m.vectors_exchanged > 0);
+        assert!(m.sim_seconds > 0.0);
+        assert!(m.bytes_per_sec_per_node > 0.0);
+    }
+
+    #[test]
+    fn report_mentions_the_paper_numbers() {
+        let r = OverheadModel::paper().report();
+        assert!(r.contains("158.7"));
+        assert!(r.contains("0.15"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Results-directory output: every experiment binary writes its artefacts
+//! (ASCII rendering + CSV) under `results/` at the workspace root.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Resolve the results directory (created on demand). Honors
+/// `DSM_RESULTS_DIR`; defaults to `./results`.
+pub fn results_dir() -> io::Result<PathBuf> {
+    let dir = std::env::var_os("DSM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Write a text artefact into the results directory; returns its path.
+pub fn write_text(name: &str, content: &str) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Write a CSV artefact into the results directory; returns its path.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(name);
+    let mut buf = Vec::new();
+    dsm_analysis::plot::write_csv(&mut buf, headers, rows)?;
+    fs::write(&path, buf)?;
+    Ok(path)
+}
+
+/// Echo a written path for the user.
+pub fn announce(path: &Path) {
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_into_configured_dir() {
+        let tmp = std::env::temp_dir().join(format!("dsm-results-test-{}", std::process::id()));
+        std::env::set_var("DSM_RESULTS_DIR", &tmp);
+        let p = write_text("hello.txt", "hi").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "hi");
+        let p = write_csv("t.csv", &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let s = fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+        std::env::remove_var("DSM_RESULTS_DIR");
+        let _ = fs::remove_dir_all(tmp);
+    }
+}

@@ -1,0 +1,205 @@
+//! Sensitivity studies around the paper's fixed design points:
+//!
+//! * **detector geometry** — the paper fixes a 32-entry accumulator and a
+//!   32-vector footprint table; how does detection quality move with the
+//!   hardware budget?
+//! * **interval length** — the paper uses 3 M instructions ÷ n (and argues
+//!   100 M would be the "real-world" choice); how sensitive are the CoV
+//!   curves to the sampling interval?
+//! * **data placement** — the structural workloads place data at its
+//!   owner; how much of the DSM phase behaviour survives under naive
+//!   round-robin page/block interleaving?
+
+use dsm_phase::detector::DetectorGeometry;
+use dsm_sim::config::DistributionPolicy;
+use dsm_workloads::{App, Scale};
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::ExperimentConfig;
+use crate::sweep::{bbv_curve_with, bbv_ddv_curve_with};
+use crate::trace::capture_with;
+
+/// One sensitivity observation: CoV at fixed phase budgets for both
+/// detectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    pub label: String,
+    pub bbv_at_15: Option<f64>,
+    pub ddv_at_15: Option<f64>,
+    pub mean_cpi: f64,
+    pub remote_miss_fraction: f64,
+    pub intervals_per_proc: usize,
+}
+
+fn observe(label: String, trace: &crate::trace::SystemTrace) -> SensitivityPoint {
+    let bbv = bbv_curve_with(trace, 60);
+    let ddv = bbv_ddv_curve_with(trace, 12, 8);
+    let n = trace.config.n_procs as f64;
+    SensitivityPoint {
+        label,
+        bbv_at_15: bbv.cov_at_phases(15.0),
+        ddv_at_15: ddv.cov_at_phases(15.0),
+        mean_cpi: trace.stats.mean_cpi(),
+        remote_miss_fraction: trace
+            .stats
+            .procs
+            .iter()
+            .map(|p| p.remote_miss_fraction())
+            .sum::<f64>()
+            / n,
+        intervals_per_proc: trace.min_intervals(),
+    }
+}
+
+/// Sweep the detector hardware budget: accumulator entries × footprint
+/// vectors.
+pub fn geometry_sweep(
+    app: App,
+    n_procs: usize,
+    scale: Scale,
+    sizes: &[(usize, usize)],
+) -> Vec<SensitivityPoint> {
+    let config = crate::figures::config_at(app, n_procs, scale);
+    sizes
+        .iter()
+        .map(|&(bbv_entries, footprint_vectors)| {
+            let geometry = DetectorGeometry { bbv_entries, footprint_vectors, ws_bits: 1024 };
+            let trace = capture_with(config, config.system_config(), geometry);
+            // Classify against the geometry's own footprint capacity.
+            let bbv = crate::sweep::bbv_curve_cap(&trace, 60, footprint_vectors);
+            let ddv = crate::sweep::bbv_ddv_curve_cap(&trace, 12, 8, footprint_vectors);
+            SensitivityPoint {
+                label: format!("{bbv_entries}-entry BBV, {footprint_vectors}-vector table"),
+                bbv_at_15: bbv.cov_at_phases(15.0),
+                ddv_at_15: ddv.cov_at_phases(15.0),
+                mean_cpi: trace.stats.mean_cpi(),
+                remote_miss_fraction: 0.0,
+                intervals_per_proc: trace.min_intervals(),
+            }
+        })
+        .collect()
+}
+
+/// Sweep the system-wide interval base (per-processor interval =
+/// `base / n`).
+pub fn interval_sweep(app: App, n_procs: usize, scale: Scale, bases: &[u64]) -> Vec<SensitivityPoint> {
+    bases
+        .iter()
+        .map(|&base| {
+            let config = ExperimentConfig {
+                interval_base: base,
+                ..crate::figures::config_at(app, n_procs, scale)
+            };
+            let trace = capture_with(config, config.system_config(), DetectorGeometry::default());
+            observe(format!("{}k-instruction base", base / 1000), &trace)
+        })
+        .collect()
+}
+
+/// Compare data-placement policies: owner-aware explicit placement (the
+/// workloads' native layout, like SPLASH-2's decompositions) against naive
+/// round-robin interleaving.
+pub fn placement_sweep(app: App, n_procs: usize, scale: Scale) -> Vec<SensitivityPoint> {
+    [
+        (DistributionPolicy::Explicit, "explicit (owner-aware)"),
+        (DistributionPolicy::PageInterleave, "page-interleaved"),
+        (DistributionPolicy::BlockInterleave, "block-interleaved"),
+    ]
+    .iter()
+    .map(|&(policy, label)| {
+        let config = crate::figures::config_at(app, n_procs, scale);
+        let mut sys_cfg = config.system_config();
+        sys_cfg.distribution = policy;
+        let trace = capture_with(config, sys_cfg, DetectorGeometry::default());
+        observe(label.to_string(), &trace)
+    })
+    .collect()
+}
+
+/// Sweep the number of SDRAM banks per memory controller (Table I says
+/// "interleaved"; the calibrated default is a single queue, the worst case
+/// for hot homes).
+pub fn bank_sweep(app: App, n_procs: usize, scale: Scale, banks: &[usize]) -> Vec<SensitivityPoint> {
+    banks
+        .iter()
+        .map(|&b| {
+            let config = crate::figures::config_at(app, n_procs, scale);
+            let mut sys_cfg = config.system_config();
+            sys_cfg.memory.banks = b;
+            let trace = capture_with(config, sys_cfg, DetectorGeometry::default());
+            observe(format!("{b} bank(s)"), &trace)
+        })
+        .collect()
+}
+
+/// Compare the default (memory-controller-only) contention model against
+/// the link-level wormhole contention model.
+pub fn network_model_sweep(app: App, n_procs: usize, scale: Scale) -> Vec<SensitivityPoint> {
+    [(false, "memctrl contention only"), (true, "+ link-level wormhole contention")]
+        .iter()
+        .map(|&(link, label)| {
+            let config = crate::figures::config_at(app, n_procs, scale);
+            let mut sys_cfg = config.system_config();
+            sys_cfg.network.link_contention = link;
+            let trace = capture_with(config, sys_cfg, DetectorGeometry::default());
+            observe(label.to_string(), &trace)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_sweep_produces_points() {
+        let pts = geometry_sweep(App::Lu, 2, Scale::Test, &[(8, 8), (32, 32)]);
+        assert_eq!(pts.len(), 2);
+        // Same simulation, different detector budget: same interval count.
+        assert_eq!(pts[0].intervals_per_proc, pts[1].intervals_per_proc);
+    }
+
+    #[test]
+    fn interval_sweep_changes_interval_counts() {
+        let pts = interval_sweep(App::Equake, 2, Scale::Test, &[8_000, 32_000]);
+        assert!(pts[0].intervals_per_proc > pts[1].intervals_per_proc * 2);
+    }
+
+    #[test]
+    fn more_banks_reduce_contention() {
+        let one = bank_sweep(App::Art, 8, Scale::Test, &[1]);
+        let four = bank_sweep(App::Art, 8, Scale::Test, &[4]);
+        assert!(
+            four[0].mean_cpi <= one[0].mean_cpi,
+            "banking cannot slow the memory system: {} vs {}",
+            one[0].mean_cpi,
+            four[0].mean_cpi
+        );
+    }
+
+    #[test]
+    fn link_contention_model_slows_the_machine() {
+        let pts = network_model_sweep(App::Lu, 8, Scale::Test);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].mean_cpi >= pts[0].mean_cpi,
+            "adding link contention cannot speed the machine up: {} vs {}",
+            pts[0].mean_cpi,
+            pts[1].mean_cpi
+        );
+    }
+
+    #[test]
+    fn placement_changes_remote_traffic() {
+        let pts = placement_sweep(App::Lu, 4, Scale::Test);
+        assert_eq!(pts.len(), 3);
+        let explicit = pts[0].remote_miss_fraction;
+        let interleaved = pts[1].remote_miss_fraction;
+        // Owner-aware placement keeps more misses local than round-robin
+        // pages (which scatter each owner's working set everywhere).
+        assert!(
+            interleaved > explicit,
+            "interleaving must raise remote share: {explicit} vs {interleaved}"
+        );
+    }
+}

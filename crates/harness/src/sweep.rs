@@ -1,0 +1,359 @@
+//! Threshold sweeps: turn one captured trace into a CoV curve per detector.
+//!
+//! Per the paper's methodology (§III-A): "We examine two hundred threshold
+//! values. We compute identifier CoV curves for each processor, and then
+//! average them together to obtain the overall system-wide CoV curve."
+//! For BBV+DDV the sweep is a 2-D grid over (BBV, DDS) thresholds and the
+//! reported curve is the set of all grid points (its lower envelope is
+//! taken at plot time).
+
+use dsm_analysis::cov::{identifier_cov, phase_count};
+use dsm_analysis::curve::{CovCurve, CurvePoint};
+use dsm_phase::branch_count::BranchCountDetector;
+use dsm_phase::ddv::DdvState;
+use dsm_phase::detector::{DetectorMode, IntervalRecord, Thresholds, TraceClassifier};
+use dsm_phase::working_set::{WorkingSetDetector, WsSignature};
+use dsm_phase::DEFAULT_FOOTPRINT_VECTORS;
+
+use crate::trace::SystemTrace;
+
+/// Number of BBV thresholds in the 1-D baseline sweep (paper: 200).
+pub const BBV_SWEEP_POINTS: usize = 200;
+/// BBV × DDS grid dimensions for the BBV+DDV sweep (also 200 points).
+pub const DDV_GRID_BBV: usize = 20;
+pub const DDV_GRID_DDS: usize = 10;
+
+/// Log-spaced thresholds in `[lo, hi]`.
+pub fn log_spaced(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(n >= 2 && lo > 0.0 && hi > lo);
+    let (l0, l1) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// Classify every processor's records at one threshold and aggregate into
+/// one sweep point (mean per-processor identifier CoV and phase count).
+fn point_for<F>(trace: &SystemTrace, classify: F, bbv_thr: f64, dds_thr: Option<f64>) -> CurvePoint
+where
+    F: Fn(&[IntervalRecord]) -> Vec<u32>,
+{
+    let mut covs = Vec::with_capacity(trace.records.len());
+    let mut phase_counts = Vec::with_capacity(trace.records.len());
+    for proc_records in &trace.records {
+        if proc_records.is_empty() {
+            continue;
+        }
+        let ids = classify(proc_records);
+        let pairs: Vec<(u32, f64)> = ids
+            .iter()
+            .zip(proc_records)
+            .map(|(&id, r)| (id, r.cpi()))
+            .collect();
+        covs.push(identifier_cov(&pairs));
+        phase_counts.push(phase_count(&pairs) as f64);
+    }
+    let n = covs.len().max(1) as f64;
+    CurvePoint {
+        phases: phase_counts.iter().sum::<f64>() / n,
+        cov: covs.iter().sum::<f64>() / n,
+        bbv_threshold: bbv_thr,
+        dds_threshold: dds_thr,
+    }
+}
+
+/// Baseline BBV sweep (Figure 2).
+pub fn bbv_curve(trace: &SystemTrace) -> CovCurve {
+    bbv_curve_with(trace, BBV_SWEEP_POINTS)
+}
+
+/// Baseline BBV sweep with an explicit point count.
+pub fn bbv_curve_with(trace: &SystemTrace, n_points: usize) -> CovCurve {
+    bbv_curve_cap(trace, n_points, DEFAULT_FOOTPRINT_VECTORS)
+}
+
+/// Baseline BBV sweep with explicit point count and footprint capacity.
+pub fn bbv_curve_cap(trace: &SystemTrace, n_points: usize, capacity: usize) -> CovCurve {
+    let points = log_spaced(n_points, 1e-3, 2.0)
+        .into_iter()
+        .map(|thr| {
+            point_for(
+                trace,
+                |recs| {
+                    TraceClassifier::classify_proc(
+                        recs,
+                        DetectorMode::Bbv,
+                        Thresholds::bbv_only(thr),
+                        capacity,
+                    )
+                },
+                thr,
+                None,
+            )
+        })
+        .collect();
+    CovCurve::new(points)
+}
+
+/// BBV+DDV grid sweep (Figure 4).
+pub fn bbv_ddv_curve(trace: &SystemTrace) -> CovCurve {
+    bbv_ddv_curve_with(trace, DDV_GRID_BBV, DDV_GRID_DDS)
+}
+
+/// BBV+DDV sweep with explicit grid dimensions.
+pub fn bbv_ddv_curve_with(trace: &SystemTrace, n_bbv: usize, n_dds: usize) -> CovCurve {
+    bbv_ddv_curve_cap(trace, n_bbv, n_dds, DEFAULT_FOOTPRINT_VECTORS)
+}
+
+/// BBV+DDV sweep with explicit grid dimensions and footprint capacity.
+pub fn bbv_ddv_curve_cap(
+    trace: &SystemTrace,
+    n_bbv: usize,
+    n_dds: usize,
+    capacity: usize,
+) -> CovCurve {
+    let mut points = Vec::with_capacity(n_bbv * n_dds);
+    for bbv_thr in log_spaced(n_bbv, 1e-3, 2.0) {
+        for dds_thr in log_spaced(n_dds, 5e-3, 1.0) {
+            let t = Thresholds { bbv: bbv_thr, dds: dds_thr };
+            points.push(point_for(
+                trace,
+                |recs| {
+                    TraceClassifier::classify_proc(recs, DetectorMode::BbvDdv, t, capacity)
+                },
+                bbv_thr,
+                Some(dds_thr),
+            ));
+        }
+    }
+    CovCurve::new(points)
+}
+
+/// Which DDS ablation to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DdsAblation {
+    /// Full DDS (F·D·C) — the paper's design.
+    Full,
+    /// No contention term (C ≡ 1): DDS = Σ F·D.
+    NoContention,
+    /// No distance term (D ≡ 1): DDS = Σ F·C.
+    NoDistance,
+    /// Frequency only: DDS = Σ F.
+    FrequencyOnly,
+}
+
+/// Recompute a record's DDS under an ablated formula.
+pub fn ablated_dds(rec: &IntervalRecord, dist_row: &[f64], which: DdsAblation) -> f64 {
+    let ones_d: Vec<f64> = vec![1.0; rec.fvec.len()];
+    let ones_c: Vec<u64> = vec![1; rec.fvec.len()];
+    match which {
+        DdsAblation::Full => DdvState::dds_of(&rec.fvec, dist_row, &rec.cvec),
+        DdsAblation::NoContention => DdvState::dds_of(&rec.fvec, dist_row, &ones_c),
+        DdsAblation::NoDistance => DdvState::dds_of(&rec.fvec, &ones_d, &rec.cvec),
+        DdsAblation::FrequencyOnly => DdvState::dds_of(&rec.fvec, &ones_d, &ones_c),
+    }
+}
+
+/// BBV+DDV sweep with an ablated DDS formula (experiments A1/A2 in
+/// DESIGN.md).
+pub fn ablation_curve(trace: &SystemTrace, which: DdsAblation) -> CovCurve {
+    let n = trace.config.n_procs;
+    let ddv = DdvState::for_hypercube(n);
+    let mut points = Vec::new();
+    for bbv_thr in log_spaced(DDV_GRID_BBV, 1e-3, 2.0) {
+        for dds_thr in log_spaced(DDV_GRID_DDS, 5e-3, 1.0) {
+            let t = Thresholds { bbv: bbv_thr, dds: dds_thr };
+            let point = {
+                let mut covs = Vec::new();
+                let mut phase_counts = Vec::new();
+                for (proc, recs) in trace.records.iter().enumerate() {
+                    if recs.is_empty() {
+                        continue;
+                    }
+                    let dds: Vec<f64> = recs
+                        .iter()
+                        .map(|r| ablated_dds(r, ddv.dist_row(proc), which))
+                        .collect();
+                    let ids = TraceClassifier::classify_proc_with_dds(
+                        recs,
+                        &dds,
+                        t,
+                        DEFAULT_FOOTPRINT_VECTORS,
+                    );
+                    let pairs: Vec<(u32, f64)> =
+                        ids.iter().zip(recs).map(|(&id, r)| (id, r.cpi())).collect();
+                    covs.push(identifier_cov(&pairs));
+                    phase_counts.push(phase_count(&pairs) as f64);
+                }
+                let n = covs.len().max(1) as f64;
+                CurvePoint {
+                    phases: phase_counts.iter().sum::<f64>() / n,
+                    cov: covs.iter().sum::<f64>() / n,
+                    bbv_threshold: bbv_thr,
+                    dds_threshold: Some(dds_thr),
+                }
+            };
+            points.push(point);
+        }
+    }
+    CovCurve::new(points)
+}
+
+/// Vector-DDV extension sweep (X8 in DESIGN.md): classification on the
+/// concatenated BBV ‖ distance-weighted frequency vector, swept over the
+/// combined Manhattan threshold at a fixed data weight.
+pub fn vector_ddv_curve(trace: &SystemTrace, data_weight: f64) -> CovCurve {
+    let n = trace.config.n_procs;
+    let ddv = DdvState::for_hypercube(n);
+    let points = log_spaced(BBV_SWEEP_POINTS, 1e-3, 2.0 * (1.0 + data_weight))
+        .into_iter()
+        .map(|thr| {
+            let mut covs = Vec::new();
+            let mut phase_counts = Vec::new();
+            for (proc, recs) in trace.records.iter().enumerate() {
+                if recs.is_empty() {
+                    continue;
+                }
+                let ids = TraceClassifier::classify_proc_vector_ddv(
+                    recs,
+                    ddv.dist_row(proc),
+                    thr,
+                    data_weight,
+                    DEFAULT_FOOTPRINT_VECTORS,
+                );
+                let pairs: Vec<(u32, f64)> =
+                    ids.iter().zip(recs).map(|(&id, r)| (id, r.cpi())).collect();
+                covs.push(identifier_cov(&pairs));
+                phase_counts.push(phase_count(&pairs) as f64);
+            }
+            let n = covs.len().max(1) as f64;
+            CurvePoint {
+                phases: phase_counts.iter().sum::<f64>() / n,
+                cov: covs.iter().sum::<f64>() / n,
+                bbv_threshold: thr,
+                dds_threshold: None,
+            }
+        })
+        .collect();
+    CovCurve::new(points)
+}
+
+/// Working-set-signature baseline sweep (Dhodapkar & Smith, experiment A4).
+pub fn working_set_curve(trace: &SystemTrace) -> CovCurve {
+    let points = log_spaced(BBV_SWEEP_POINTS, 1e-3, 1.0)
+        .into_iter()
+        .map(|thr| {
+            point_for(
+                trace,
+                |recs| {
+                    let mut det = WorkingSetDetector::new(DEFAULT_FOOTPRINT_VECTORS);
+                    recs.iter()
+                        .map(|r| det.classify(&WsSignature::from_words(r.ws_sig.clone()), thr))
+                        .collect()
+                },
+                thr,
+                None,
+            )
+        })
+        .collect();
+    CovCurve::new(points)
+}
+
+/// Branch-count baseline sweep (Balasubramonian et al., experiment A4).
+pub fn branch_count_curve(trace: &SystemTrace) -> CovCurve {
+    let points = log_spaced(BBV_SWEEP_POINTS, 1e-4, 1.0)
+        .into_iter()
+        .map(|thr| {
+            point_for(
+                trace,
+                |recs| {
+                    let mut det = BranchCountDetector::new(DEFAULT_FOOTPRINT_VECTORS);
+                    recs.iter().map(|r| det.classify(r.branches, thr)).collect()
+                },
+                thr,
+                None,
+            )
+        })
+        .collect();
+    CovCurve::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use crate::trace::capture;
+    use dsm_workloads::App;
+
+    #[test]
+    fn log_spacing_properties() {
+        let v = log_spaced(10, 1e-3, 2.0);
+        assert_eq!(v.len(), 10);
+        assert!((v[0] - 1e-3).abs() < 1e-12);
+        assert!((v[9] - 2.0).abs() < 1e-9);
+        assert!(v.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn bbv_sweep_spans_single_to_many_phases() {
+        let t = capture(ExperimentConfig::test(App::Lu, 2));
+        let c = bbv_curve_with(&t, 40);
+        assert_eq!(c.points.len(), 40);
+        let min_p = c.points.iter().map(|p| p.phases).fold(f64::MAX, f64::min);
+        let max_p = c.max_phases();
+        assert!(min_p <= 1.5, "loosest threshold ~1 phase, got {min_p}");
+        assert!(max_p >= 4.0, "tightest threshold many phases, got {max_p}");
+    }
+
+    #[test]
+    fn single_phase_end_has_same_cov_for_both_detectors() {
+        // Paper: "When distance thresholds are high enough that the entire
+        // program falls into a single phase, both detectors naturally
+        // achieve the same CoV result."
+        let t = capture(ExperimentConfig::test(App::Equake, 2));
+        let bbv = bbv_curve_with(&t, 30);
+        let ddv = bbv_ddv_curve_with(&t, 8, 4);
+        let one = |c: &dsm_analysis::curve::CovCurve| {
+            c.points
+                .iter()
+                .filter(|p| p.phases <= 1.01)
+                .map(|p| p.cov)
+                .next()
+        };
+        let (a, b) = (one(&bbv), one(&ddv));
+        if let (Some(a), Some(b)) = (a, b) {
+            assert!((a - b).abs() < 1e-9, "single-phase CoV must agree: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ablated_dds_formulas() {
+        use dsm_phase::detector::IntervalRecord;
+        let rec = IntervalRecord {
+            proc: 0,
+            index: 0,
+            insns: 100,
+            cycles: 100,
+            bbv: vec![1.0],
+            fvec: vec![2, 3],
+            cvec: vec![10, 20],
+            dds: 0.0,
+            ws_sig: vec![0],
+            branches: 1,
+        };
+        let dist = [1.0, 3.0];
+        assert_eq!(ablated_dds(&rec, &dist, DdsAblation::Full), 2.0 * 10.0 + 3.0 * 3.0 * 20.0);
+        assert_eq!(ablated_dds(&rec, &dist, DdsAblation::NoContention), 2.0 + 9.0);
+        assert_eq!(ablated_dds(&rec, &dist, DdsAblation::NoDistance), 20.0 + 60.0);
+        assert_eq!(ablated_dds(&rec, &dist, DdsAblation::FrequencyOnly), 5.0);
+    }
+
+    #[test]
+    fn baseline_sweeps_produce_points() {
+        let t = capture(ExperimentConfig::test(App::Art, 2));
+        let ws = working_set_curve(&t);
+        let bc = branch_count_curve(&t);
+        assert!(!ws.is_empty());
+        assert!(!bc.is_empty());
+    }
+}

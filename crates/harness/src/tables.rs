@@ -1,0 +1,132 @@
+//! Tables I (simulated architecture) and II (applications and input sets).
+
+use dsm_analysis::table::Table;
+use dsm_sim::config::SystemConfig;
+use dsm_workloads::inputs::{AppInput, ArtInput, EquakeInput, FmmInput, LuInput, OceanInput};
+use dsm_workloads::{App, Scale};
+
+/// Table I: summary of the simulated architecture.
+pub fn table1() -> Table {
+    let c = SystemConfig::paper(32);
+    let mut t = Table::new(vec!["Parameter", "Value"])
+        .with_title("TABLE I — SUMMARY OF SIMULATED ARCHITECTURE");
+    t.row(vec![
+        "Processor Frequency".to_string(),
+        format!("{}GHz", c.freq_mhz / 1000),
+    ]);
+    t.row(vec![
+        "Functional Units".to_string(),
+        format!("{} ALU, {} FPU", c.core.commit_width, c.core.fpu_units),
+    ]);
+    t.row(vec![
+        "Fetch/Issue/Commit".to_string(),
+        format!("{w}/{w}/{w}", w = c.core.commit_width),
+    ]);
+    t.row(vec!["Register File".to_string(), "128 Int, 128 FP".to_string()]);
+    t.row(vec![
+        "Branch Predictor".to_string(),
+        format!("{}-entry gshare", c.core.gshare_entries),
+    ]);
+    t.row(vec![
+        "L1".to_string(),
+        format!(
+            "{}kB, {}, {} cycle",
+            c.l1.size_bytes / 1024,
+            if c.l1.assoc == 1 { "direct-mapped".to_string() } else { format!("{}-way", c.l1.assoc) },
+            c.l1.latency_cycles
+        ),
+    ]);
+    t.row(vec![
+        "L2".to_string(),
+        format!(
+            "{}MB, {}-way, {}B, {} cycles",
+            c.l2.size_bytes / (1024 * 1024),
+            c.l2.assoc,
+            c.l2.line_bytes,
+            c.l2.latency_cycles
+        ),
+    ]);
+    t.row(vec![
+        "Memory".to_string(),
+        format!(
+            "SDRAM interleaved, {}ns, 2.6GB/s",
+            c.memory.latency_cycles * 1000 / (c.freq_mhz)
+        ),
+    ]);
+    t.row(vec![
+        "Network".to_string(),
+        format!(
+            "Hypercube, wormhole, 400MHz pipelined router, {}ns pin-to-pin",
+            c.network.hop_cycles * 1000 / c.freq_mhz
+        ),
+    ]);
+    t
+}
+
+/// Table II: applications and input sets, at paper scale with the scaled
+/// defaults alongside.
+pub fn table2() -> Table {
+    let mut t = Table::new(vec!["Application", "Input Set (paper)", "Input Set (scaled default)"])
+        .with_title("TABLE II — APPLICATIONS USED IN THE EXPERIMENTS");
+    for app in App::ALL {
+        let (paper, scaled) = match app {
+            App::Lu => (
+                AppInput::Lu(LuInput::at(Scale::Paper)),
+                AppInput::Lu(LuInput::at(Scale::Scaled)),
+            ),
+            App::Fmm => (
+                AppInput::Fmm(FmmInput::at(Scale::Paper)),
+                AppInput::Fmm(FmmInput::at(Scale::Scaled)),
+            ),
+            App::Art => (
+                AppInput::Art(ArtInput::at(Scale::Paper)),
+                AppInput::Art(ArtInput::at(Scale::Scaled)),
+            ),
+            App::Equake => (
+                AppInput::Equake(EquakeInput::at(Scale::Paper)),
+                AppInput::Equake(EquakeInput::at(Scale::Scaled)),
+            ),
+            // Not in the paper's Table II; only reachable if a caller
+            // iterates App::EXTENDED.
+            App::Ocean => {
+                let i = OceanInput::at(Scale::Paper);
+                let s = OceanInput::at(Scale::Scaled);
+                t.row(vec![
+                    app.name().to_string(),
+                    format!("{g}x{g} grid (extension)", g = i.grid),
+                    format!("{g}x{g} grid (extension)", g = s.grid),
+                ]);
+                continue;
+            }
+        };
+        t.row(vec![app.name().to_string(), paper.describe(), scaled.describe()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let s = table1().render();
+        assert!(s.contains("2GHz"));
+        assert!(s.contains("6 ALU, 4 FPU"));
+        assert!(s.contains("6/6/6"));
+        assert!(s.contains("2048-entry gshare"));
+        assert!(s.contains("16kB, direct-mapped, 1 cycle"));
+        assert!(s.contains("2MB, 8-way, 32B, 12 cycles"));
+        assert!(s.contains("75ns"));
+        assert!(s.contains("16ns pin-to-pin"));
+    }
+
+    #[test]
+    fn table2_lists_all_apps() {
+        let t = table2();
+        assert_eq!(t.n_rows(), 4);
+        let s = t.render();
+        assert!(s.contains("512x512 matrix, 16x16 block"));
+        assert!(s.contains("65536 particles"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Trace capture: run one simulation per experiment configuration and
+//! record the per-interval feature snapshots all sweeps classify offline.
+//!
+//! Classification does not feed back into execution in the paper's
+//! evaluation, so a single capture supports arbitrarily many threshold
+//! sweeps (see DESIGN.md §2, "online/offline equivalence"). Captures are
+//! cached in-memory keyed by configuration so figures and benches never
+//! re-simulate.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsm_phase::detector::{DetectorGeometry, IntervalRecord, TraceCollector};
+use dsm_sim::stats::SystemStats;
+use dsm_sim::system::System;
+use dsm_workloads::make_stream;
+
+use crate::experiment::ExperimentConfig;
+
+/// A captured run: per-processor interval records plus machine statistics.
+#[derive(Debug, Clone)]
+pub struct SystemTrace {
+    pub config: ExperimentConfig,
+    /// Interval records per processor, in interval order.
+    pub records: Vec<Vec<IntervalRecord>>,
+    pub stats: SystemStats,
+    /// Total DDV query traffic (for the overhead report).
+    pub ddv_vectors_exchanged: u64,
+}
+
+impl SystemTrace {
+    /// Total captured intervals across all processors.
+    pub fn total_intervals(&self) -> usize {
+        self.records.iter().map(|r| r.len()).sum()
+    }
+
+    /// Minimum per-processor interval count (sweeps need every processor to
+    /// have contributed).
+    pub fn min_intervals(&self) -> usize {
+        self.records.iter().map(|r| r.len()).min().unwrap_or(0)
+    }
+}
+
+/// Run the simulation for `config` and capture its trace (uncached).
+pub fn capture(config: ExperimentConfig) -> SystemTrace {
+    capture_with(config, config.system_config(), DetectorGeometry::default())
+}
+
+/// Capture with an explicit machine configuration and detector geometry
+/// (sensitivity studies: interval length, placement policy, accumulator and
+/// footprint-table sizes).
+pub fn capture_with(
+    config: ExperimentConfig,
+    sys_cfg: dsm_sim::config::SystemConfig,
+    geometry: DetectorGeometry,
+) -> SystemTrace {
+    assert_eq!(sys_cfg.n_procs, config.n_procs);
+    let stream = make_stream(config.app, config.n_procs, config.scale);
+    let collector = TraceCollector::for_hypercube(config.n_procs, geometry);
+    let system = System::new(sys_cfg, stream, collector);
+    let (stats, collector) = system.run();
+    SystemTrace {
+        config,
+        ddv_vectors_exchanged: collector.ddv().vectors_exchanged(),
+        records: collector.records,
+        stats,
+    }
+}
+
+/// Process-wide trace cache.
+static CACHE: Mutex<Option<HashMap<String, Arc<SystemTrace>>>> = Mutex::new(None);
+
+/// Capture with caching: the second request for the same configuration is
+/// free. Used by figures and benches.
+pub fn capture_cached(config: ExperimentConfig) -> Arc<SystemTrace> {
+    let key = config.label();
+    if let Some(t) = CACHE.lock().as_ref().and_then(|m| m.get(&key).cloned()) {
+        return t;
+    }
+    let trace = Arc::new(capture(config));
+    CACHE
+        .lock()
+        .get_or_insert_with(HashMap::new)
+        .insert(key, trace.clone());
+    trace
+}
+
+/// Capture many configurations in parallel (one OS thread each, bounded by
+/// available parallelism) and populate the cache.
+pub fn capture_all_cached(configs: &[ExperimentConfig]) {
+    let todo: Vec<ExperimentConfig> = {
+        let cache = CACHE.lock();
+        configs
+            .iter()
+            .filter(|c| {
+                cache
+                    .as_ref()
+                    .is_none_or(|m| !m.contains_key(&c.label()))
+            })
+            .copied()
+            .collect()
+    };
+    if todo.is_empty() {
+        return;
+    }
+    let max_par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    for chunk in todo.chunks(max_par.max(1)) {
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|&cfg| s.spawn(move |_| Arc::new(capture(cfg))))
+                .collect();
+            for h in handles {
+                let trace = h.join().expect("capture thread panicked");
+                CACHE
+                    .lock()
+                    .get_or_insert_with(HashMap::new)
+                    .insert(trace.config.label(), trace);
+            }
+        })
+        .expect("crossbeam scope");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_workloads::App;
+
+    #[test]
+    fn capture_produces_intervals_for_every_proc() {
+        let t = capture(ExperimentConfig::test(App::Lu, 2));
+        assert_eq!(t.records.len(), 2);
+        assert!(t.min_intervals() >= 3, "got {}", t.min_intervals());
+        // Records carry real features.
+        let r = &t.records[0][0];
+        assert!(r.insns > 0);
+        assert!(r.cycles > 0);
+        assert_eq!(r.fvec.len(), 2);
+        assert!((r.bbv.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let a = capture(ExperimentConfig::test(App::Equake, 2));
+        let b = capture(ExperimentConfig::test(App::Equake, 2));
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.records[0].len(), b.records[0].len());
+        assert_eq!(a.records[0][0], b.records[0][0]);
+    }
+
+    #[test]
+    fn cached_capture_returns_same_arc() {
+        let cfg = ExperimentConfig::test(App::Art, 2);
+        let a = capture_cached(cfg);
+        let b = capture_cached(cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn parallel_capture_populates_cache() {
+        let cfgs = vec![
+            ExperimentConfig::test(App::Fmm, 2),
+            ExperimentConfig::test(App::Fmm, 4),
+        ];
+        capture_all_cached(&cfgs);
+        for c in cfgs {
+            let t = capture_cached(c);
+            assert!(t.total_intervals() > 0);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Physical addresses, block/page arithmetic, and home-node mapping.
+//!
+//! The DSM hardware assigns every memory block a *home* node whose directory
+//! and memory controller service misses for that block. The home of the data
+//! touched by each committed access is exactly what the paper's frequency
+//! matrix `F` counts, so this mapping is load-bearing for the whole study.
+
+use crate::config::DistributionPolicy;
+use crate::util::FxHashMap;
+
+/// A physical address in the simulated global address space.
+pub type Addr = u64;
+/// A node identifier (0-based).
+pub type NodeId = usize;
+
+/// log2 of the coherence-block size (32 B, per Table I).
+pub const BLOCK_SHIFT: u32 = 5;
+/// Coherence-block size in bytes.
+pub const BLOCK_BYTES: u64 = 1 << BLOCK_SHIFT;
+/// log2 of the page size used by page-granularity placement policies.
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_BYTES: u64 = 1 << PAGE_SHIFT;
+
+/// Bit position where [`DistributionPolicy::Explicit`] addresses encode the
+/// home node. Everything below is the within-node offset.
+pub const HOME_SHIFT: u32 = 40;
+
+/// Build an explicit-placement address: the data lives at `offset` within
+/// the region homed at `home`.
+///
+/// The structural workload models know the owner of every data structure
+/// (e.g. the 2-D scatter owner of an LU block), so they place data
+/// explicitly — this mirrors SPLASH-2's round-robin/first-touch allocation
+/// intent without modelling an OS.
+#[inline]
+pub fn explicit_addr(home: NodeId, offset: u64) -> Addr {
+    debug_assert!(offset < (1 << HOME_SHIFT));
+    ((home as u64) << HOME_SHIFT) | offset
+}
+
+/// The block-aligned address containing `addr`.
+#[inline]
+pub fn block_of(addr: Addr) -> Addr {
+    addr >> BLOCK_SHIFT << BLOCK_SHIFT
+}
+
+/// Block index (address / 32).
+#[inline]
+pub fn block_index(addr: Addr) -> u64 {
+    addr >> BLOCK_SHIFT
+}
+
+/// Maps addresses to home nodes under a [`DistributionPolicy`].
+///
+/// `FirstTouch` is stateful (the OS page table, in effect), so homes are
+/// resolved through this struct rather than a free function.
+#[derive(Debug, Clone)]
+pub struct HomeMap {
+    policy: DistributionPolicy,
+    n_nodes: usize,
+    first_touch: FxHashMap<u64, NodeId>,
+}
+
+impl HomeMap {
+    pub fn new(policy: DistributionPolicy, n_nodes: usize) -> Self {
+        assert!(n_nodes > 0);
+        Self {
+            policy,
+            n_nodes,
+            first_touch: FxHashMap::default(),
+        }
+    }
+
+    pub fn policy(&self) -> DistributionPolicy {
+        self.policy
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Resolve the home node of `addr`; `toucher` is the accessing processor
+    /// (used only by first-touch).
+    #[inline]
+    pub fn home(&mut self, addr: Addr, toucher: NodeId) -> NodeId {
+        match self.policy {
+            DistributionPolicy::PageInterleave => {
+                ((addr >> PAGE_SHIFT) % self.n_nodes as u64) as NodeId
+            }
+            DistributionPolicy::BlockInterleave => {
+                ((addr >> BLOCK_SHIFT) % self.n_nodes as u64) as NodeId
+            }
+            DistributionPolicy::FirstTouch => {
+                let page = addr >> PAGE_SHIFT;
+                *self.first_touch.entry(page).or_insert(toucher)
+            }
+            DistributionPolicy::Explicit => {
+                let home = (addr >> HOME_SHIFT) as NodeId;
+                debug_assert!(home < self.n_nodes, "explicit home out of range");
+                home
+            }
+        }
+    }
+
+    /// Home lookup that must not mutate state; panics for first-touch pages
+    /// never touched before. Used by read-only analyses.
+    pub fn home_readonly(&self, addr: Addr) -> NodeId {
+        match self.policy {
+            DistributionPolicy::PageInterleave => {
+                ((addr >> PAGE_SHIFT) % self.n_nodes as u64) as NodeId
+            }
+            DistributionPolicy::BlockInterleave => {
+                ((addr >> BLOCK_SHIFT) % self.n_nodes as u64) as NodeId
+            }
+            DistributionPolicy::FirstTouch => *self
+                .first_touch
+                .get(&(addr >> PAGE_SHIFT))
+                .expect("first-touch page not yet touched"),
+            DistributionPolicy::Explicit => (addr >> HOME_SHIFT) as NodeId,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_roundtrip() {
+        for home in [0usize, 1, 7, 31] {
+            let a = explicit_addr(home, 0x1234);
+            let mut map = HomeMap::new(DistributionPolicy::Explicit, 32);
+            assert_eq!(map.home(a, 0), home);
+            assert_eq!(map.home_readonly(a), home);
+        }
+    }
+
+    #[test]
+    fn page_interleave_cycles_through_nodes() {
+        let mut map = HomeMap::new(DistributionPolicy::PageInterleave, 4);
+        assert_eq!(map.home(0, 0), 0);
+        assert_eq!(map.home(PAGE_BYTES, 0), 1);
+        assert_eq!(map.home(4 * PAGE_BYTES, 0), 0);
+        // Same page, different offset, same home.
+        assert_eq!(map.home(PAGE_BYTES + 100, 3), 1);
+    }
+
+    #[test]
+    fn block_interleave_cycles_through_nodes() {
+        let mut map = HomeMap::new(DistributionPolicy::BlockInterleave, 8);
+        for b in 0..16u64 {
+            assert_eq!(map.home(b * BLOCK_BYTES, 0), (b % 8) as usize);
+        }
+    }
+
+    #[test]
+    fn first_touch_is_sticky() {
+        let mut map = HomeMap::new(DistributionPolicy::FirstTouch, 8);
+        assert_eq!(map.home(0x5000, 3), 3);
+        // A later toucher does not change the home.
+        assert_eq!(map.home(0x5008, 6), 3);
+        assert_eq!(map.home_readonly(0x5010), 3);
+        // A different page gets its own first-toucher.
+        assert_eq!(map.home(0x9000, 6), 6);
+    }
+
+    #[test]
+    fn block_arithmetic() {
+        assert_eq!(block_of(0), 0);
+        assert_eq!(block_of(31), 0);
+        assert_eq!(block_of(32), 32);
+        assert_eq!(block_index(64), 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Set-associative cache model with real tag arrays and true-LRU
+//! replacement. Used for the private L1 and L2 of every node.
+
+use crate::addr::Addr;
+use crate::config::CacheConfig;
+
+/// Result of a cache lookup-and-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    Hit,
+    /// Miss; the evicted line's block address, if a dirty line was replaced.
+    Miss { writeback: Option<Addr> },
+}
+
+#[derive(Clone)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A single set-associative cache (one level, one node).
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets * assoc, set-major
+    set_mask: u64,
+    block_shift: u32,
+    set_shift: u32,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.n_sets();
+        assert!(sets.is_power_of_two() && sets > 0, "bad cache geometry");
+        assert!(cfg.line_bytes.is_power_of_two());
+        let block_shift = cfg.line_bytes.trailing_zeros();
+        Self {
+            lines: vec![
+                Line { tag: 0, valid: false, dirty: false, lru: 0 };
+                (sets * cfg.assoc as u64) as usize
+            ],
+            set_mask: sets - 1,
+            block_shift,
+            set_shift: block_shift + sets.trailing_zeros(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_range(&self, addr: Addr) -> (usize, u64) {
+        let set = ((addr >> self.block_shift) & self.set_mask) as usize;
+        let tag = addr >> self.set_shift;
+        (set * self.cfg.assoc as usize, tag)
+    }
+
+    /// Access `addr`; on a miss the line is filled (allocate-on-miss for
+    /// both loads and stores, as in a writeback write-allocate cache).
+    pub fn access(&mut self, addr: Addr, write: bool) -> Lookup {
+        self.clock += 1;
+        let (base, tag) = self.set_range(addr);
+        let assoc = self.cfg.assoc as usize;
+        let set = &mut self.lines[base..base + assoc];
+
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.lru = self.clock;
+                line.dirty |= write;
+                self.hits += 1;
+                return Lookup::Hit;
+            }
+        }
+        self.misses += 1;
+
+        // Victim: invalid line if any, else true-LRU.
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("associativity is nonzero");
+        let set_index = (base / assoc) as u64;
+        let set_shift = self.set_shift;
+        let block_shift = self.block_shift;
+        let line = &mut set[victim];
+        let writeback = if line.valid && line.dirty {
+            Some((line.tag << set_shift) | (set_index << block_shift))
+        } else {
+            None
+        };
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = write;
+        line.lru = self.clock;
+        Lookup::Miss { writeback }
+    }
+
+    /// Probe without filling or updating LRU; true if the block is present.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (base, tag) = self.set_range(addr);
+        self.lines[base..base + self.cfg.assoc as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidate the block containing `addr` (coherence). Returns true if
+    /// the block was present and dirty.
+    pub fn invalidate(&mut self, addr: Addr) -> bool {
+        let (base, tag) = self.set_range(addr);
+        for line in &mut self.lines[base..base + self.cfg.assoc as usize] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                let was_dirty = line.dirty;
+                line.dirty = false;
+                return was_dirty;
+            }
+        }
+        false
+    }
+
+    /// Downgrade a line to clean (coherence: exclusive → shared). Returns
+    /// true if the block was present and dirty.
+    pub fn downgrade(&mut self, addr: Addr) -> bool {
+        let (base, tag) = self.set_range(addr);
+        for line in &mut self.lines[base..base + self.cfg.assoc as usize] {
+            if line.valid && line.tag == tag {
+                let was_dirty = line.dirty;
+                line.dirty = false;
+                return was_dirty;
+            }
+        }
+        false
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidate everything (context switch in the multiprogramming demo).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: u32) -> Cache {
+        // 4 sets x assoc x 32 B lines.
+        Cache::new(CacheConfig {
+            size_bytes: 4 * assoc as u64 * 32,
+            assoc,
+            line_bytes: 32,
+            latency_cycles: 1,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny(2);
+        assert!(matches!(c.access(0x100, false), Lookup::Miss { .. }));
+        assert_eq!(c.access(0x100, false), Lookup::Hit);
+        assert_eq!(c.access(0x11f, false), Lookup::Hit); // same 32 B block
+        assert!(matches!(c.access(0x120, false), Lookup::Miss { .. }));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = tiny(1);
+        // Two addresses 4 sets * 32 B = 128 B apart map to the same set.
+        assert!(matches!(c.access(0x000, false), Lookup::Miss { .. }));
+        assert!(matches!(c.access(0x080, false), Lookup::Miss { .. }));
+        assert!(matches!(c.access(0x000, false), Lookup::Miss { .. })); // evicted
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = tiny(2);
+        c.access(0x000, false); // set 0
+        c.access(0x080, false); // set 0, second way
+        c.access(0x000, false); // touch first again
+        c.access(0x100, false); // evicts 0x080 (LRU), not 0x000
+        assert_eq!(c.access(0x000, false), Lookup::Hit);
+        assert!(matches!(c.access(0x080, false), Lookup::Miss { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny(1);
+        c.access(0x000, true); // dirty fill
+        match c.access(0x080, false) {
+            Lookup::Miss { writeback: Some(addr) } => assert_eq!(addr, 0x000),
+            other => panic!("expected dirty writeback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny(1);
+        c.access(0x000, false);
+        assert!(matches!(
+            c.access(0x080, false),
+            Lookup::Miss { writeback: None }
+        ));
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = tiny(2);
+        c.access(0x200, true);
+        assert!(c.probe(0x200));
+        assert!(c.invalidate(0x200)); // dirty
+        assert!(!c.probe(0x200));
+        assert!(!c.invalidate(0x200)); // already gone
+    }
+
+    #[test]
+    fn downgrade_cleans_but_keeps_block() {
+        let mut c = tiny(2);
+        c.access(0x200, true);
+        assert!(c.downgrade(0x200));
+        assert!(c.probe(0x200));
+        // Now clean: evicting it produces no writeback.
+        assert!(!c.downgrade(0x200));
+    }
+
+    #[test]
+    fn writeback_address_reconstruction_is_exact() {
+        let mut c = tiny(1);
+        let victim = 0x0000_1234_5680u64; // block-aligned-ish high address
+        let victim_block = victim >> 5 << 5;
+        c.access(victim, true);
+        // Conflicting address: same set (bits 5..7), different tag.
+        let conflict = victim ^ (1 << 30);
+        match c.access(conflict, false) {
+            Lookup::Miss { writeback: Some(a) } => assert_eq!(a, victim_block),
+            other => panic!("expected writeback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny(2);
+        c.access(0x000, false);
+        c.access(0x100, true);
+        c.flush();
+        assert!(!c.probe(0x000));
+        assert!(!c.probe(0x100));
+    }
+
+    #[test]
+    fn paper_l1_geometry_works() {
+        let cfg = crate::config::SystemConfig::paper(8);
+        let mut l1 = Cache::new(cfg.l1);
+        // Fill all 512 sets, then the 513th distinct block evicts set 0.
+        for i in 0..512u64 {
+            assert!(matches!(l1.access(i * 32, false), Lookup::Miss { .. }));
+        }
+        for i in 0..512u64 {
+            assert_eq!(l1.access(i * 32, false), Lookup::Hit);
+        }
+        assert!(matches!(l1.access(512 * 32, false), Lookup::Miss { .. }));
+        assert!(matches!(l1.access(0, false), Lookup::Miss { .. }));
+    }
+}

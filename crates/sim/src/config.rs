@@ -1,0 +1,326 @@
+//! System configuration mirroring Table I of the paper.
+//!
+//! All latencies are stored in **processor cycles** at the configured core
+//! frequency (2 GHz in the paper), so the timing model never multiplies by
+//! wall-clock units at runtime.
+
+use serde::{Deserialize, Serialize};
+
+/// Data-placement policy: which node is the *home* of a memory block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistributionPolicy {
+    /// Consecutive 4 kB pages are assigned to nodes round-robin.
+    PageInterleave,
+    /// Consecutive 32 B blocks are assigned to nodes round-robin.
+    BlockInterleave,
+    /// The first processor to touch a page becomes its home (requires the
+    /// stateful [`crate::addr::HomeMap`]).
+    FirstTouch,
+    /// Explicit placement: the workload encodes the home node in the upper
+    /// address bits (used by the structural workload models, which know the
+    /// owner of every data structure).
+    Explicit,
+}
+
+/// A set-associative cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (1 = direct-mapped).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in cycles (added to the load-to-use path on a hit in
+    /// this level after a miss in the previous one).
+    pub latency_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn n_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.assoc as u64)
+    }
+}
+
+/// Main-memory (SDRAM) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Access latency in cycles (75 ns at 2 GHz = 150 cycles).
+    pub latency_cycles: u64,
+    /// Independently scheduled SDRAM banks per controller; consecutive
+    /// blocks interleave across banks (Table I: "SDRAM interleaved").
+    pub banks: usize,
+    /// Minimum cycles between the start of consecutive block transfers at
+    /// one controller, i.e. `block_bytes / bandwidth`. 32 B at 2.6 GB/s and
+    /// 2 GHz is ~24.6 cycles; we round up to 25. This gap is what produces
+    /// queueing (contention) delays at hot home nodes.
+    pub service_gap_cycles: u64,
+}
+
+/// Interconnect configuration (hypercube, wormhole routing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Per-hop pin-to-pin latency in cycles (16 ns at 2 GHz = 32 cycles).
+    pub hop_cycles: u64,
+    /// Router pipeline occupancy per hop in cycles (400 MHz pipelined router
+    /// = 2.5 ns per stage = 5 cycles at 2 GHz).
+    pub router_cycles: u64,
+    /// Serialization cycles for a cache-block-sized payload (header +
+    /// 32 B over the wormhole channel).
+    pub payload_cycles: u64,
+    /// Serialization cycles for a header-only control message
+    /// (request/invalidation/ack).
+    pub header_cycles: u64,
+    /// Model per-link wormhole channel occupancy along the e-cube route
+    /// (messages queue behind earlier messages on each directed link).
+    /// Off by default: the paper's contention story concentrates at the
+    /// home memory controllers, and the calibrated figures use that model;
+    /// enabling it adds network-path queueing on top (see the
+    /// `sensitivity` experiment).
+    pub link_contention: bool,
+}
+
+impl NetworkConfig {
+    /// One-way latency of a `hops`-hop message carrying `payload` or not.
+    #[inline]
+    pub fn one_way(&self, hops: u32, payload: bool) -> u64 {
+        if hops == 0 {
+            return 0;
+        }
+        let ser = if payload {
+            self.payload_cycles
+        } else {
+            self.header_cycles
+        };
+        hops as u64 * (self.hop_cycles + self.router_cycles) + ser
+    }
+}
+
+/// Processor core configuration (cycle-accounting model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Commit width (instructions per cycle through the int pipeline).
+    pub commit_width: u32,
+    /// Number of floating-point units (FP throughput per cycle).
+    pub fpu_units: u32,
+    /// Branch mispredict penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// gshare predictor table entries (must be a power of two).
+    pub gshare_entries: usize,
+    /// Fraction of a memory stall actually exposed to the pipeline,
+    /// in 1/256 units. An out-of-order core overlaps part of every miss with
+    /// independent work; 154/256 ≈ 0.6 is a standard MLP discount. Stored as
+    /// an integer so the whole timing model stays in integer arithmetic.
+    pub stall_exposure_num: u64,
+}
+
+impl CoreConfig {
+    pub const STALL_EXPOSURE_DEN: u64 = 256;
+
+    /// Apply the MLP discount to a raw miss latency.
+    #[inline]
+    pub fn exposed_stall(&self, raw: u64) -> u64 {
+        raw * self.stall_exposure_num / Self::STALL_EXPOSURE_DEN
+    }
+}
+
+/// Full system configuration (Table I of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of processors/nodes (2..=32 in the paper; must be a power of
+    /// two for the hypercube).
+    pub n_procs: usize,
+    /// Core frequency in MHz (2 000 in the paper). Used only for reporting
+    /// and the §III-B bandwidth-overhead model.
+    pub freq_mhz: u64,
+    pub core: CoreConfig,
+    pub l1: CacheConfig,
+    pub l2: CacheConfig,
+    pub memory: MemoryConfig,
+    pub network: NetworkConfig,
+    pub distribution: DistributionPolicy,
+    /// Directory lookup latency at the home node, in cycles.
+    pub directory_cycles: u64,
+    /// Fixed cost of a synchronization operation (barrier arrival, lock
+    /// acquire/release), in cycles, on top of any waiting.
+    pub sync_cycles: u64,
+    /// Committed **non-synchronization** instructions per sampling interval
+    /// on each processor. The paper uses 3 M divided by the number of
+    /// processors; constructors apply that division.
+    pub interval_insns: u64,
+}
+
+impl SystemConfig {
+    /// The architecture of Table I at paper scale: 3 M-instruction interval
+    /// base divided by `n_procs`.
+    pub fn paper(n_procs: usize) -> Self {
+        Self::with_interval_base(n_procs, 3_000_000)
+    }
+
+    /// Table I architecture with an explicit system-wide interval base
+    /// (per-processor interval = `base / n_procs`, the paper's scaling rule).
+    pub fn with_interval_base(n_procs: usize, interval_base: u64) -> Self {
+        assert!(n_procs.is_power_of_two(), "hypercube needs a power of two");
+        assert!((1..=1024).contains(&n_procs));
+        Self {
+            n_procs,
+            freq_mhz: 2000,
+            core: CoreConfig {
+                commit_width: 6,
+                fpu_units: 4,
+                mispredict_penalty: 14,
+                gshare_entries: 2048,
+                stall_exposure_num: 154, // ~0.6
+            },
+            l1: CacheConfig {
+                size_bytes: 16 * 1024,
+                assoc: 1,
+                line_bytes: 32,
+                latency_cycles: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                assoc: 8,
+                line_bytes: 32,
+                latency_cycles: 12,
+            },
+            memory: MemoryConfig {
+                latency_cycles: 150,   // 75 ns at 2 GHz
+                service_gap_cycles: 25, // 32 B at 2.6 GB/s
+                banks: 1,
+            },
+            network: NetworkConfig {
+                hop_cycles: 32,   // 16 ns pin-to-pin
+                router_cycles: 5, // 400 MHz pipelined router
+                payload_cycles: 26,
+                header_cycles: 4,
+                link_contention: false,
+            },
+            distribution: DistributionPolicy::Explicit,
+            directory_cycles: 6,
+            sync_cycles: 40,
+            interval_insns: (interval_base / n_procs as u64).max(1),
+        }
+    }
+
+    /// A scaled configuration for the reduced default inputs (see DESIGN.md
+    /// §7): identical latencies and geometry except a smaller L2 so that the
+    /// scaled working sets keep the paper's working-set-to-cache ratio.
+    pub fn scaled(n_procs: usize, interval_base: u64) -> Self {
+        let mut cfg = Self::with_interval_base(n_procs, interval_base);
+        cfg.l2.size_bytes = 256 * 1024;
+        cfg
+    }
+
+    /// Per-processor sampling-interval length in committed non-sync
+    /// instructions.
+    pub fn interval_len(&self) -> u64 {
+        self.interval_insns
+    }
+
+    /// Validate internal consistency; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.n_procs.is_power_of_two() {
+            return Err(format!("n_procs {} is not a power of two", self.n_procs));
+        }
+        for (name, c) in [("L1", &self.l1), ("L2", &self.l2)] {
+            if !c.line_bytes.is_power_of_two() {
+                return Err(format!("{name} line size must be a power of two"));
+            }
+            if c.assoc == 0 {
+                return Err(format!("{name} associativity must be nonzero"));
+            }
+            let sets = c.n_sets();
+            if sets == 0 || !sets.is_power_of_two() {
+                return Err(format!("{name} set count {sets} must be a nonzero power of two"));
+            }
+        }
+        if !self.core.gshare_entries.is_power_of_two() {
+            return Err("gshare entries must be a power of two".into());
+        }
+        if self.core.commit_width == 0 || self.core.fpu_units == 0 {
+            return Err("core widths must be nonzero".into());
+        }
+        if self.interval_insns == 0 {
+            return Err("interval length must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_one() {
+        let c = SystemConfig::paper(32);
+        assert_eq!(c.freq_mhz, 2000);
+        assert_eq!(c.core.commit_width, 6);
+        assert_eq!(c.core.fpu_units, 4);
+        assert_eq!(c.core.gshare_entries, 2048);
+        assert_eq!(c.l1.size_bytes, 16 * 1024);
+        assert_eq!(c.l1.assoc, 1);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2.assoc, 8);
+        assert_eq!(c.l2.line_bytes, 32);
+        assert_eq!(c.l2.latency_cycles, 12);
+        assert_eq!(c.memory.latency_cycles, 150); // 75 ns @ 2 GHz
+        assert_eq!(c.network.hop_cycles, 32); // 16 ns @ 2 GHz
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn interval_scales_inversely_with_procs() {
+        // Paper: "3M committed non-synchronization instructions, divided by
+        // the number of processors in each configuration".
+        assert_eq!(SystemConfig::paper(2).interval_len(), 1_500_000);
+        assert_eq!(SystemConfig::paper(8).interval_len(), 375_000);
+        assert_eq!(SystemConfig::paper(32).interval_len(), 93_750);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = SystemConfig::paper(8);
+        assert_eq!(c.l1.n_sets(), 512); // 16 kB / 32 B direct-mapped
+        assert_eq!(c.l2.n_sets(), 8192); // 2 MB / (32 B * 8)
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_procs_panics() {
+        let _ = SystemConfig::paper(12);
+    }
+
+    #[test]
+    fn validate_catches_bad_geometry() {
+        let mut c = SystemConfig::paper(4);
+        c.l1.line_bytes = 48;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::paper(4);
+        c.core.gshare_entries = 1000;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::paper(4);
+        c.interval_insns = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn network_one_way_latency() {
+        let c = SystemConfig::paper(32);
+        assert_eq!(c.network.one_way(0, true), 0);
+        let one_hop = c.network.one_way(1, false);
+        let two_hop = c.network.one_way(2, false);
+        assert!(two_hop > one_hop);
+        assert!(c.network.one_way(1, true) > one_hop);
+    }
+
+    #[test]
+    fn exposed_stall_discounts() {
+        let core = SystemConfig::paper(2).core;
+        assert!(core.exposed_stall(100) < 100);
+        assert!(core.exposed_stall(100) > 40);
+        assert_eq!(core.exposed_stall(0), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Home-based directory coherence protocol (MESI-flavoured).
+//!
+//! Every 32 B block has a home node; the home's directory tracks whether the
+//! block is uncached, shared by a set of nodes, or exclusively owned. The
+//! directory returns the *actions* a request implies (fetch from memory,
+//! forward from a dirty owner, invalidate sharers); the system loop turns
+//! those actions into network and memory-controller latencies and into
+//! invalidations of the private caches.
+//!
+//! Node sets are stored as a `u64` bitmask, which comfortably covers the
+//! paper's 32-node maximum.
+
+use crate::util::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Directory state of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// Cached read-only by the nodes in the mask.
+    Shared(u64),
+    /// Cached with write permission by one node (possibly dirty there).
+    Exclusive(usize),
+}
+
+/// Where the data for a read comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadSource {
+    /// Home memory supplies the block.
+    Memory,
+    /// A dirty remote owner forwards the block (home memory not accessed).
+    Owner(usize),
+}
+
+/// Outcome of a read miss reaching the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    pub source: ReadSource,
+}
+
+/// Outcome of a write miss (or upgrade) reaching the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Nodes (excluding the requester) whose cached copies must be
+    /// invalidated.
+    pub invalidate_mask: u64,
+    /// A dirty exclusive owner that forwards the block to the requester.
+    pub owner_forward: Option<usize>,
+    /// Whether home memory must supply the data (false on an upgrade from
+    /// Shared when the requester already holds the block, and on owner
+    /// forwarding).
+    pub from_memory: bool,
+}
+
+/// Traffic/transition counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectoryStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub owner_forwards: u64,
+    pub invalidations: u64,
+    pub upgrades: u64,
+    pub writebacks: u64,
+}
+
+/// The (logically distributed) directory. Homes are a pure function of the
+/// address, so a single map keyed by block index is behaviourally identical
+/// to per-home maps; per-home latency is charged by the system loop.
+#[derive(Debug, Default)]
+pub struct Directory {
+    map: FxHashMap<u64, DirState>,
+    stats: DirectoryStats,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle a read miss for `block` by `requester`.
+    pub fn read(&mut self, block: u64, requester: usize) -> ReadOutcome {
+        self.stats.reads += 1;
+        let bit = 1u64 << requester;
+        match self.map.get(&block).copied() {
+            None => {
+                // First reader gets the block exclusively (MESI E-state).
+                self.map.insert(block, DirState::Exclusive(requester));
+                ReadOutcome { source: ReadSource::Memory }
+            }
+            Some(DirState::Shared(mask)) => {
+                self.map.insert(block, DirState::Shared(mask | bit));
+                ReadOutcome { source: ReadSource::Memory }
+            }
+            Some(DirState::Exclusive(owner)) if owner == requester => {
+                // Stale entry after a silent clean eviction at the owner;
+                // refetch from memory, ownership unchanged.
+                ReadOutcome { source: ReadSource::Memory }
+            }
+            Some(DirState::Exclusive(owner)) => {
+                self.stats.owner_forwards += 1;
+                self.map
+                    .insert(block, DirState::Shared(bit | (1u64 << owner)));
+                ReadOutcome { source: ReadSource::Owner(owner) }
+            }
+        }
+    }
+
+    /// Handle a write miss (or upgrade) for `block` by `requester`.
+    pub fn write(&mut self, block: u64, requester: usize) -> WriteOutcome {
+        self.stats.writes += 1;
+        let bit = 1u64 << requester;
+        let outcome = match self.map.get(&block).copied() {
+            None => WriteOutcome {
+                invalidate_mask: 0,
+                owner_forward: None,
+                from_memory: true,
+            },
+            Some(DirState::Shared(mask)) => {
+                let others = mask & !bit;
+                self.stats.invalidations += others.count_ones() as u64;
+                if mask & bit != 0 {
+                    self.stats.upgrades += 1;
+                }
+                WriteOutcome {
+                    invalidate_mask: others,
+                    owner_forward: None,
+                    // Upgrade: requester already holds the data.
+                    from_memory: mask & bit == 0,
+                }
+            }
+            Some(DirState::Exclusive(owner)) if owner == requester => WriteOutcome {
+                // Stale after silent eviction; refetch.
+                invalidate_mask: 0,
+                owner_forward: None,
+                from_memory: true,
+            },
+            Some(DirState::Exclusive(owner)) => {
+                self.stats.invalidations += 1;
+                WriteOutcome {
+                    invalidate_mask: 1u64 << owner,
+                    owner_forward: Some(owner),
+                    from_memory: false,
+                }
+            }
+        };
+        self.map.insert(block, DirState::Exclusive(requester));
+        outcome
+    }
+
+    /// A dirty writeback (cache eviction) from `node` arrived at the home.
+    pub fn writeback(&mut self, block: u64, node: usize) {
+        self.stats.writebacks += 1;
+        match self.map.get(&block).copied() {
+            Some(DirState::Exclusive(owner)) if owner == node => {
+                self.map.remove(&block);
+            }
+            Some(DirState::Shared(mask)) => {
+                let rest = mask & !(1u64 << node);
+                if rest == 0 {
+                    self.map.remove(&block);
+                } else {
+                    self.map.insert(block, DirState::Shared(rest));
+                }
+            }
+            // Racy/stale writeback (already re-owned elsewhere): ignore, the
+            // current owner's copy is authoritative.
+            _ => {}
+        }
+    }
+
+    /// Current directory state of a block (None = uncached).
+    pub fn state(&self, block: u64) -> Option<DirState> {
+        self.map.get(&block).copied()
+    }
+
+    pub fn stats(&self) -> DirectoryStats {
+        self.stats
+    }
+
+    /// Number of tracked (cached-somewhere) blocks.
+    pub fn tracked_blocks(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_is_exclusive_from_memory() {
+        let mut d = Directory::new();
+        let o = d.read(100, 3);
+        assert_eq!(o.source, ReadSource::Memory);
+        assert_eq!(d.state(100), Some(DirState::Exclusive(3)));
+    }
+
+    #[test]
+    fn second_reader_triggers_owner_forward() {
+        let mut d = Directory::new();
+        d.read(100, 3);
+        let o = d.read(100, 5);
+        assert_eq!(o.source, ReadSource::Owner(3));
+        assert_eq!(d.state(100), Some(DirState::Shared((1 << 3) | (1 << 5))));
+        // Third reader now comes from memory (block is shared/clean).
+        let o = d.read(100, 7);
+        assert_eq!(o.source, ReadSource::Memory);
+        assert_eq!(
+            d.state(100),
+            Some(DirState::Shared((1 << 3) | (1 << 5) | (1 << 7)))
+        );
+    }
+
+    #[test]
+    fn write_to_shared_invalidates_others() {
+        let mut d = Directory::new();
+        d.read(8, 0);
+        d.read(8, 1);
+        d.read(8, 2);
+        let o = d.write(8, 1);
+        assert_eq!(o.invalidate_mask, (1 << 0) | (1 << 2));
+        assert!(o.owner_forward.is_none());
+        assert!(!o.from_memory, "upgrade: requester already has data");
+        assert_eq!(d.state(8), Some(DirState::Exclusive(1)));
+        assert_eq!(d.stats().upgrades, 1);
+        assert_eq!(d.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn write_by_non_sharer_fetches_memory() {
+        let mut d = Directory::new();
+        d.read(8, 0);
+        d.read(8, 1); // Shared{0,1}
+        let o = d.write(8, 4);
+        assert_eq!(o.invalidate_mask, 0b11);
+        assert!(o.from_memory);
+        assert_eq!(d.state(8), Some(DirState::Exclusive(4)));
+    }
+
+    #[test]
+    fn write_steals_from_exclusive_owner() {
+        let mut d = Directory::new();
+        d.write(40, 2);
+        let o = d.write(40, 6);
+        assert_eq!(o.owner_forward, Some(2));
+        assert_eq!(o.invalidate_mask, 1 << 2);
+        assert!(!o.from_memory);
+        assert_eq!(d.state(40), Some(DirState::Exclusive(6)));
+    }
+
+    #[test]
+    fn writeback_clears_exclusive_entry() {
+        let mut d = Directory::new();
+        d.write(40, 2);
+        d.writeback(40, 2);
+        assert_eq!(d.state(40), None);
+        assert_eq!(d.tracked_blocks(), 0);
+    }
+
+    #[test]
+    fn stale_writeback_is_ignored() {
+        let mut d = Directory::new();
+        d.write(40, 2);
+        d.write(40, 6); // 6 now owns
+        d.writeback(40, 2); // stale
+        assert_eq!(d.state(40), Some(DirState::Exclusive(6)));
+    }
+
+    #[test]
+    fn reread_after_silent_eviction_keeps_ownership() {
+        let mut d = Directory::new();
+        d.read(64, 9);
+        // Owner 9's cache silently evicted the clean block; directory is
+        // stale. A re-read by 9 must come from memory without deadlock.
+        let o = d.read(64, 9);
+        assert_eq!(o.source, ReadSource::Memory);
+        assert_eq!(d.state(64), Some(DirState::Exclusive(9)));
+    }
+
+    #[test]
+    fn shared_writeback_removes_only_that_node() {
+        let mut d = Directory::new();
+        d.read(12, 0);
+        d.read(12, 1);
+        d.writeback(12, 0);
+        assert_eq!(d.state(12), Some(DirState::Shared(1 << 1)));
+        d.writeback(12, 1);
+        assert_eq!(d.state(12), None);
+    }
+
+    #[test]
+    fn read_write_read_sequence() {
+        let mut d = Directory::new();
+        d.read(1, 0); // E(0)
+        d.write(1, 1); // forward from 0, E(1)
+        let o = d.read(1, 0); // forward from 1
+        assert_eq!(o.source, ReadSource::Owner(1));
+        assert_eq!(d.state(1), Some(DirState::Shared(0b11)));
+    }
+}

@@ -1,0 +1,299 @@
+//! Hypercube interconnect with wormhole-routing latency model.
+//!
+//! Nodes are hypercube vertices; the distance between nodes `a` and `b` is
+//! the Hamming distance of their ids (e-cube routing). A message pays one
+//! router-pipeline plus pin-to-pin delay per hop, plus a serialization term
+//! for its payload. Queueing contention is modelled where it dominates in a
+//! DSM — the home memory controller ([`crate::memctrl`]) — while the
+//! network itself adds deterministic distance latency; this matches the
+//! paper's framing, where the contention the DDV captures is "system-wide
+//! contention for data with home in j".
+
+use crate::config::NetworkConfig;
+use serde::{Deserialize, Serialize};
+
+/// Hypercube topology + latency model for an `n`-node system.
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetworkConfig,
+    n_nodes: usize,
+    dim: u32,
+    msgs: u64,
+    payload_msgs: u64,
+    total_hops: u64,
+    /// Per directed link `(node, dim)` occupancy horizon, used only when
+    /// [`NetworkConfig::link_contention`] is on.
+    link_busy: Vec<u64>,
+    /// Total cycles messages spent queued on busy links.
+    link_wait_cycles: u64,
+}
+
+/// Aggregate traffic counters for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    pub msgs: u64,
+    pub payload_msgs: u64,
+    pub total_hops: u64,
+    /// Cycles messages spent queued behind busy links (0 unless link
+    /// contention is modelled).
+    pub link_wait_cycles: u64,
+}
+
+impl Network {
+    pub fn new(cfg: NetworkConfig, n_nodes: usize) -> Self {
+        assert!(n_nodes.is_power_of_two() && n_nodes > 0);
+        let dim = n_nodes.trailing_zeros();
+        Self {
+            cfg,
+            n_nodes,
+            dim,
+            msgs: 0,
+            payload_msgs: 0,
+            total_hops: 0,
+            link_busy: vec![0; n_nodes * dim.max(1) as usize],
+            link_wait_cycles: 0,
+        }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Hypercube dimension (log2 of node count).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Hop count between two nodes (Hamming distance of the ids).
+    #[inline]
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        debug_assert!(a < self.n_nodes && b < self.n_nodes);
+        ((a ^ b) as u64).count_ones()
+    }
+
+    /// One-way latency of a message from `a` to `b`, recording traffic.
+    /// Equivalent to [`Network::send_at`] with the link-contention model
+    /// bypassed (used where the caller has no meaningful timestamp).
+    #[inline]
+    pub fn send(&mut self, a: usize, b: usize, payload: bool) -> u64 {
+        let h = self.hops(a, b);
+        self.msgs += 1;
+        self.payload_msgs += payload as u64;
+        self.total_hops += h as u64;
+        self.cfg.one_way(h, payload)
+    }
+
+    /// One-way latency of a message injected at absolute cycle `now`.
+    ///
+    /// With [`NetworkConfig::link_contention`] enabled, the message follows
+    /// the e-cube (dimension-order) route and each directed link admits one
+    /// wormhole at a time: the head queues until the link frees, and the
+    /// link stays occupied for the message's serialization time. Without
+    /// the flag this reduces exactly to [`Network::send`].
+    pub fn send_at(&mut self, a: usize, b: usize, payload: bool, now: u64) -> u64 {
+        if !self.cfg.link_contention || a == b {
+            return self.send(a, b, payload);
+        }
+        let ser = if payload { self.cfg.payload_cycles } else { self.cfg.header_cycles };
+        let mut node = a;
+        let mut t = now;
+        let mut diff = a ^ b;
+        self.msgs += 1;
+        self.payload_msgs += payload as u64;
+        while diff != 0 {
+            let d = diff.trailing_zeros() as usize;
+            diff &= diff - 1;
+            self.total_hops += 1;
+            let link = &mut self.link_busy[node * self.dim as usize + d];
+            let start = t.max(*link);
+            self.link_wait_cycles += start - t;
+            *link = start + ser;
+            t = start + self.cfg.hop_cycles + self.cfg.router_cycles;
+            node ^= 1 << d;
+        }
+        debug_assert_eq!(node, b);
+        (t + ser) - now
+    }
+
+    /// Latency of a round trip `a -> b -> a` with a header request and a
+    /// `payload`-carrying reply.
+    #[inline]
+    pub fn round_trip(&mut self, a: usize, b: usize, payload_back: bool) -> u64 {
+        self.send(a, b, false) + self.send(b, a, payload_back)
+    }
+
+    /// Pure latency query without traffic accounting.
+    #[inline]
+    pub fn latency(&self, a: usize, b: usize, payload: bool) -> u64 {
+        self.cfg.one_way(self.hops(a, b), payload)
+    }
+
+    /// Distance matrix for the paper's DDV: `D[i][j]`, defined as 1 when
+    /// `i == j` and `1 + hops(i, j)` otherwise, flattened row-major.
+    ///
+    /// The paper says only "a measure of the distance from node i to node j
+    /// (1 if i = j)" of "pre-programmed constants"; `1 + hops` is the natural
+    /// such measure for a hypercube and keeps local accesses cheapest.
+    pub fn distance_matrix(&self) -> Vec<f64> {
+        let n = self.n_nodes;
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = if i == j { 1.0 } else { 1.0 + self.hops(i, j) as f64 };
+            }
+        }
+        d
+    }
+
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats {
+            msgs: self.msgs,
+            payload_msgs: self.payload_msgs,
+            total_hops: self.total_hops,
+            link_wait_cycles: self.link_wait_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn net(n: usize) -> Network {
+        Network::new(SystemConfig::paper(n.max(2)).network, n)
+    }
+
+    #[test]
+    fn hops_is_hamming_distance() {
+        let n = net(32);
+        assert_eq!(n.hops(0, 0), 0);
+        assert_eq!(n.hops(0, 1), 1);
+        assert_eq!(n.hops(0, 3), 2);
+        assert_eq!(n.hops(0, 31), 5);
+        assert_eq!(n.hops(5, 6), 2); // 101 ^ 110 = 011
+    }
+
+    #[test]
+    fn hops_symmetric_and_triangle() {
+        let n = net(16);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(n.hops(a, b), n.hops(b, a));
+                for c in 0..16 {
+                    assert!(n.hops(a, c) <= n.hops(a, b) + n.hops(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_hops_is_dimension() {
+        let n = net(32);
+        assert_eq!(n.dim(), 5);
+        let max = (0..32)
+            .flat_map(|a| (0..32).map(move |b| (a, b)))
+            .map(|(a, b)| n.hops(a, b))
+            .max()
+            .unwrap();
+        assert_eq!(max, 5);
+    }
+
+    #[test]
+    fn local_send_is_free() {
+        let mut n = net(8);
+        assert_eq!(n.send(3, 3, true), 0);
+    }
+
+    #[test]
+    fn remote_latency_grows_with_distance() {
+        let mut n = net(32);
+        let one = n.send(0, 1, true);
+        let five = n.send(0, 31, true);
+        assert!(five > one);
+        assert_eq!(n.stats().msgs, 2);
+        assert_eq!(n.stats().total_hops, 6);
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_ways() {
+        let mut n = net(8);
+        let rt = n.round_trip(0, 5, true);
+        let manual = n.latency(0, 5, false) + n.latency(5, 0, true);
+        assert_eq!(rt, manual);
+    }
+
+    #[test]
+    fn distance_matrix_shape_and_diagonal() {
+        let n = net(8);
+        let d = n.distance_matrix();
+        assert_eq!(d.len(), 64);
+        for i in 0..8 {
+            assert_eq!(d[i * 8 + i], 1.0);
+            for j in 0..8 {
+                assert!(d[i * 8 + j] >= 1.0);
+                assert_eq!(d[i * 8 + j], d[j * 8 + i]);
+            }
+        }
+        // node 0 to node 7 (111) is 3 hops -> 4.0
+        assert_eq!(d[7], 4.0);
+    }
+
+    #[test]
+    fn send_at_without_contention_equals_send() {
+        let mut a = net(16);
+        let mut b = net(16);
+        for (src, dst, payload, now) in [(0usize, 5usize, true, 100u64), (3, 3, false, 7), (1, 14, false, 0)] {
+            assert_eq!(a.send_at(src, dst, payload, now), b.send(src, dst, payload));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn link_contention_queues_messages_on_shared_links() {
+        let mut cfg = SystemConfig::paper(8).network;
+        cfg.link_contention = true;
+        let mut n = Network::new(cfg, 8);
+        // Two messages injected at the same instant from node 0 along the
+        // same first link (dim 0): the second must wait for the first's
+        // serialization.
+        let first = n.send_at(0, 1, true, 1000);
+        let second = n.send_at(0, 1, true, 1000);
+        assert!(second > first, "queued message must take longer: {first} vs {second}");
+        assert_eq!(second - first, cfg.payload_cycles);
+        assert!(n.stats().link_wait_cycles > 0);
+        // A message on a different link is unaffected.
+        let other = n.send_at(0, 2, true, 1000);
+        assert_eq!(other, first);
+    }
+
+    #[test]
+    fn link_contention_latency_matches_uncontended_when_idle() {
+        let mut cfg = SystemConfig::paper(8).network;
+        cfg.link_contention = true;
+        let mut n = Network::new(cfg, 8);
+        // An idle network: e-cube latency equals the analytic one_way.
+        assert_eq!(n.send_at(0, 7, true, 0), cfg.one_way(3, true));
+        // Much later, links have drained.
+        assert_eq!(n.send_at(0, 7, true, 1_000_000), cfg.one_way(3, true));
+    }
+
+    #[test]
+    fn ecube_routes_use_disjoint_links_for_disjoint_pairs() {
+        let mut cfg = SystemConfig::paper(8).network;
+        cfg.link_contention = true;
+        let mut n = Network::new(cfg, 8);
+        // 0->1 (link (0,d0)) and 2->3 (link (2,d0)) share no links.
+        let a = n.send_at(0, 1, true, 0);
+        let b = n.send_at(2, 3, true, 0);
+        assert_eq!(a, b);
+        assert_eq!(n.stats().link_wait_cycles, 0);
+    }
+
+    #[test]
+    fn uniprocessor_network_degenerates() {
+        let n = net(1);
+        assert_eq!(n.dim(), 0);
+        assert_eq!(n.distance_matrix(), vec![1.0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-node processor model: private caches, branch predictor, and a
+//! deterministic cycle-accounting pipeline.
+//!
+//! The core commits `commit_width` simple instructions per cycle, FP bursts
+//! at FPU throughput, charges the gshare mispredict penalty per wrong
+//! branch, and exposes a configurable fraction of every memory-stall
+//! (the MLP discount — an out-of-order window overlaps part of each miss).
+//! Fractional commit cycles are carried exactly in integer arithmetic, so
+//! runs are bit-reproducible.
+
+use crate::branch::Gshare;
+use crate::cache::Cache;
+use crate::config::{CoreConfig, SystemConfig};
+use crate::stats::ProcStats;
+
+/// Execution state of one processor.
+pub struct Processor {
+    pub id: usize,
+    /// Absolute cycle this processor has advanced to (global timebase).
+    pub cycle: u64,
+    pub l1: Cache,
+    pub l2: Cache,
+    pub gshare: Gshare,
+    pub stats: ProcStats,
+    core: CoreConfig,
+    /// Instructions not yet converted to whole commit cycles.
+    commit_carry: u64,
+    /// FP operations not yet converted to whole FPU cycles.
+    fp_carry: u64,
+    // --- sampling-interval bookkeeping ---
+    interval_len: u64,
+    interval_progress: u64,
+    interval_start_cycle: u64,
+    interval_index: u64,
+    /// True once the instruction stream returned `End`.
+    pub finished: bool,
+    /// True while blocked at a barrier or lock.
+    pub blocked: bool,
+    /// Cycle at which the processor became blocked (for wait accounting).
+    pub blocked_since: u64,
+}
+
+impl Processor {
+    pub fn new(id: usize, cfg: &SystemConfig) -> Self {
+        Self {
+            id,
+            cycle: 0,
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            gshare: Gshare::new(cfg.core.gshare_entries),
+            stats: ProcStats::default(),
+            core: cfg.core,
+            commit_carry: 0,
+            fp_carry: 0,
+            interval_len: cfg.interval_len(),
+            interval_progress: 0,
+            interval_start_cycle: 0,
+            interval_index: 0,
+            finished: false,
+            blocked: false,
+            blocked_since: 0,
+        }
+    }
+
+    /// Commit `n` simple instructions; advances the cycle by `n / width`
+    /// with an exact carry.
+    #[inline]
+    pub fn commit_insns(&mut self, n: u64) {
+        self.commit_carry += n;
+        let whole = self.commit_carry / self.core.commit_width as u64;
+        self.commit_carry %= self.core.commit_width as u64;
+        self.cycle += whole;
+        self.stats.insns += n;
+    }
+
+    /// Commit `n` floating-point operations at FPU throughput.
+    #[inline]
+    pub fn commit_fp(&mut self, n: u64) {
+        self.fp_carry += n;
+        let whole = self.fp_carry / self.core.fpu_units as u64;
+        self.fp_carry %= self.core.fpu_units as u64;
+        self.cycle += whole;
+        self.stats.insns += n;
+    }
+
+    /// Resolve the branch terminating a basic block; charges the mispredict
+    /// penalty when wrong.
+    #[inline]
+    pub fn resolve_branch(&mut self, bb: u32, taken: bool) {
+        self.stats.branches += 1;
+        if !self.gshare.predict_and_update(bb as u64, taken) {
+            self.stats.mispredicts += 1;
+            self.cycle += self.core.mispredict_penalty;
+        }
+    }
+
+    /// Charge an exposed memory stall of `raw` cycles (the MLP discount is
+    /// applied here).
+    #[inline]
+    pub fn charge_mem_stall(&mut self, raw: u64) {
+        let exposed = self.core.exposed_stall(raw);
+        self.cycle += exposed;
+        self.stats.mem_stall_cycles += exposed;
+    }
+
+    /// Advance interval progress by `insns` committed non-sync instructions;
+    /// returns `Some((index, insns, cycles))` when a sampling interval just
+    /// completed.
+    #[inline]
+    pub fn advance_interval(&mut self, insns: u64) -> Option<(u64, u64, u64)> {
+        self.interval_progress += insns;
+        if self.interval_progress < self.interval_len {
+            return None;
+        }
+        let done_insns = self.interval_progress;
+        let cycles = self.cycle - self.interval_start_cycle;
+        let index = self.interval_index;
+        self.interval_progress = 0;
+        self.interval_start_cycle = self.cycle;
+        self.interval_index += 1;
+        self.stats.intervals += 1;
+        Some((index, done_insns, cycles))
+    }
+
+    /// Reset interval bookkeeping (multiprogramming context switch).
+    pub fn reset_interval(&mut self) {
+        self.interval_progress = 0;
+        self.interval_start_cycle = self.cycle;
+    }
+
+    pub fn interval_index(&self) -> u64 {
+        self.interval_index
+    }
+
+    /// Mirror the final cycle count into the stats snapshot.
+    pub fn sync_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc() -> Processor {
+        Processor::new(0, &SystemConfig::paper(2))
+    }
+
+    #[test]
+    fn commit_width_throughput() {
+        let mut p = proc();
+        p.commit_insns(6);
+        assert_eq!(p.cycle, 1);
+        p.commit_insns(3);
+        assert_eq!(p.cycle, 1); // carry = 3
+        p.commit_insns(3);
+        assert_eq!(p.cycle, 2);
+        assert_eq!(p.stats.insns, 12);
+    }
+
+    #[test]
+    fn commit_carry_is_exact_over_many_events() {
+        let mut p = proc();
+        for _ in 0..1000 {
+            p.commit_insns(1);
+        }
+        // 1000 insns at width 6 = 166.67 cycles -> exactly 166 whole cycles.
+        assert_eq!(p.cycle, 166);
+    }
+
+    #[test]
+    fn fp_throughput_uses_fpu_count() {
+        let mut p = proc();
+        p.commit_fp(8); // 4 FPUs -> 2 cycles
+        assert_eq!(p.cycle, 2);
+        p.commit_fp(2);
+        assert_eq!(p.cycle, 2); // carry
+        p.commit_fp(2);
+        assert_eq!(p.cycle, 3);
+    }
+
+    #[test]
+    fn mispredict_charges_penalty() {
+        let mut p = proc();
+        // Train taken, then surprise with not-taken.
+        for _ in 0..16 {
+            p.resolve_branch(0x10, true);
+        }
+        let c = p.cycle;
+        p.resolve_branch(0x10, false);
+        assert_eq!(p.cycle, c + 14);
+        assert!(p.stats.mispredicts >= 1);
+    }
+
+    #[test]
+    fn mem_stall_is_discounted() {
+        let mut p = proc();
+        p.charge_mem_stall(100);
+        assert_eq!(p.cycle, 100 * 154 / 256);
+        assert_eq!(p.stats.mem_stall_cycles, p.cycle);
+    }
+
+    #[test]
+    fn interval_fires_at_configured_length() {
+        let mut p = Processor::new(0, &SystemConfig::with_interval_base(2, 200));
+        // interval_len = 100
+        assert!(p.advance_interval(60).is_none());
+        p.cycle = 500;
+        let (idx, insns, cycles) = p.advance_interval(50).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(insns, 110); // overshoot is attributed to this interval
+        assert_eq!(cycles, 500);
+        // Next interval starts fresh.
+        assert!(p.advance_interval(99).is_none());
+        p.cycle = 600;
+        let (idx, insns, cycles) = p.advance_interval(1).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(insns, 100);
+        assert_eq!(cycles, 100);
+        assert_eq!(p.interval_index(), 2);
+    }
+
+    #[test]
+    fn reset_interval_discards_progress() {
+        let mut p = Processor::new(0, &SystemConfig::with_interval_base(2, 200));
+        p.advance_interval(80);
+        p.reset_interval();
+        assert!(p.advance_interval(80).is_none()); // progress was discarded
+        assert!(p.advance_interval(20).is_some());
+    }
+}

@@ -1,0 +1,133 @@
+//! Aggregate simulation statistics for reporting and validation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::directory::DirectoryStats;
+use crate::memctrl::MemCtrlStats;
+use crate::network::NetworkStats;
+
+/// Per-processor counters accumulated over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Total cycles this processor has advanced to.
+    pub cycles: u64,
+    /// Committed non-synchronization instructions.
+    pub insns: u64,
+    /// Committed synchronization operations (barriers, lock ops).
+    pub sync_ops: u64,
+    /// Cycles spent blocked at barriers or locks.
+    pub sync_wait_cycles: u64,
+    /// Committed memory references.
+    pub mem_refs: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses (global misses that reached a directory).
+    pub l2_misses: u64,
+    /// Misses whose home was this node.
+    pub local_home_misses: u64,
+    /// Misses whose home was another node.
+    pub remote_home_misses: u64,
+    /// Total memory-stall cycles charged (after MLP discount).
+    pub mem_stall_cycles: u64,
+    /// Total queueing (contention) delay observed at memory controllers.
+    pub contention_cycles: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Committed basic blocks (branches).
+    pub branches: u64,
+    /// Completed sampling intervals.
+    pub intervals: u64,
+}
+
+impl ProcStats {
+    /// Whole-run cycles per non-sync instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.insns == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.insns as f64
+        }
+    }
+
+    /// Fraction of L2 misses that went to a remote home.
+    pub fn remote_miss_fraction(&self) -> f64 {
+        if self.l2_misses == 0 {
+            0.0
+        } else {
+            self.remote_home_misses as f64 / self.l2_misses as f64
+        }
+    }
+}
+
+/// System-wide statistics snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemStats {
+    pub procs: Vec<ProcStats>,
+    pub directory: DirectoryStats,
+    pub network: NetworkStats,
+    pub memctrls: Vec<MemCtrlStats>,
+    /// Global cycle at which the last processor finished.
+    pub finish_cycle: u64,
+}
+
+impl SystemStats {
+    /// Total committed non-sync instructions across all processors.
+    pub fn total_insns(&self) -> u64 {
+        self.procs.iter().map(|p| p.insns).sum()
+    }
+
+    /// System throughput: total instructions / finish cycle.
+    pub fn system_ipc(&self) -> f64 {
+        if self.finish_cycle == 0 {
+            0.0
+        } else {
+            self.total_insns() as f64 / self.finish_cycle as f64
+        }
+    }
+
+    /// Mean per-processor CPI.
+    pub fn mean_cpi(&self) -> f64 {
+        if self.procs.is_empty() {
+            return 0.0;
+        }
+        self.procs.iter().map(|p| p.cpi()).sum::<f64>() / self.procs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_cpi() {
+        let mut p = ProcStats::default();
+        assert_eq!(p.cpi(), 0.0);
+        p.cycles = 300;
+        p.insns = 100;
+        assert!((p.cpi() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_fraction() {
+        let mut p = ProcStats::default();
+        assert_eq!(p.remote_miss_fraction(), 0.0);
+        p.l2_misses = 10;
+        p.remote_home_misses = 4;
+        assert!((p.remote_miss_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn system_aggregates() {
+        let s = SystemStats {
+            procs: vec![
+                ProcStats { cycles: 100, insns: 100, ..Default::default() },
+                ProcStats { cycles: 100, insns: 300, ..Default::default() },
+            ],
+            finish_cycle: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.total_insns(), 400);
+        assert!((s.system_ipc() - 4.0).abs() < 1e-12);
+        assert!((s.mean_cpi() - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,784 @@
+//! Global simulation loop: min-cycle scheduling over all processors,
+//! the full memory-access path (L1 → L2 → directory → network → memory
+//! controller), barriers, and locks.
+//!
+//! Scheduling is deterministic: the runnable processor with the smallest
+//! absolute cycle runs next, ties broken by lowest id. All inter-processor
+//! timing effects — coherence invalidations, dirty forwarding, memory
+//! controller queueing, barrier skew, lock hand-off — emerge from this loop.
+
+use std::collections::VecDeque;
+
+use crate::addr::{block_of, HomeMap};
+use crate::config::SystemConfig;
+use crate::directory::{Directory, ReadSource};
+use crate::event::{Event, InstructionStream};
+use crate::memctrl::MemCtrl;
+use crate::network::Network;
+use crate::observer::{IntervalStats, SimObserver};
+use crate::processor::Processor;
+use crate::stats::SystemStats;
+use crate::util::FxHashMap;
+
+#[derive(Debug, Default)]
+struct LockState {
+    owner: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    current_id: Option<u32>,
+    arrived_mask: u64,
+    arrival_cycle: Vec<u64>,
+}
+
+/// The simulated DSM multiprocessor.
+pub struct System<S: InstructionStream, O: SimObserver> {
+    cfg: SystemConfig,
+    procs: Vec<Processor>,
+    dir: Directory,
+    net: Network,
+    memctrls: Vec<MemCtrl>,
+    homes: HomeMap,
+    locks: FxHashMap<u32, LockState>,
+    barrier: BarrierState,
+    stream: S,
+    observer: O,
+    events_executed: u64,
+}
+
+impl<S: InstructionStream, O: SimObserver> System<S, O> {
+    pub fn new(cfg: SystemConfig, stream: S, observer: O) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        assert_eq!(
+            stream.n_procs(),
+            cfg.n_procs,
+            "stream and config disagree on processor count"
+        );
+        let n = cfg.n_procs;
+        Self {
+            procs: (0..n).map(|i| Processor::new(i, &cfg)).collect(),
+            cfg: cfg.clone(),
+            dir: Directory::new(),
+            net: Network::new(cfg.network, n),
+            memctrls: (0..n).map(|_| MemCtrl::new(cfg.memory)).collect(),
+            homes: HomeMap::new(cfg.distribution, n),
+            locks: FxHashMap::default(),
+            barrier: BarrierState {
+                current_id: None,
+                arrived_mask: 0,
+                arrival_cycle: vec![0; n],
+            },
+            stream,
+            observer,
+            events_executed: 0,
+        }
+    }
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// The DDV distance matrix for this system's topology.
+    pub fn distance_matrix(&self) -> Vec<f64> {
+        self.net.distance_matrix()
+    }
+
+    /// Run to completion of all processor streams; returns final statistics.
+    pub fn run(mut self) -> (SystemStats, O) {
+        while self.step() {}
+        let stats = self.finish_stats();
+        (stats, self.observer)
+    }
+
+    /// Execute one event on the earliest runnable processor. Returns false
+    /// when every processor has finished.
+    pub fn step(&mut self) -> bool {
+        let next = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, pr)| !pr.finished && !pr.blocked)
+            .min_by_key(|(i, pr)| (pr.cycle, *i))
+            .map(|(i, _)| i);
+
+        let p = match next {
+            Some(p) => p,
+            None => {
+                if self.procs.iter().all(|pr| pr.finished) {
+                    return false;
+                }
+                let blocked: Vec<usize> = self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pr)| pr.blocked)
+                    .map(|(i, _)| i)
+                    .collect();
+                panic!(
+                    "deadlock: no runnable processor; blocked = {blocked:?} \
+                     (malformed workload: unmatched barrier or lock)"
+                );
+            }
+        };
+
+        self.events_executed += 1;
+        let ev = self.stream.next(p);
+        match ev {
+            Event::Block { bb, insns, taken } => {
+                self.procs[p].commit_insns(insns as u64);
+                self.procs[p].resolve_branch(bb, taken);
+                self.observer.on_block_commit(p, bb, insns);
+                self.advance_interval(p, insns as u64);
+            }
+            Event::Mem { addr, write } => {
+                let home = self.mem_access(p, addr, write);
+                self.procs[p].commit_insns(1);
+                self.observer.on_mem_commit(p, home, addr, write);
+                self.advance_interval(p, 1);
+            }
+            Event::Fp { ops } => {
+                self.procs[p].commit_fp(ops as u64);
+                self.advance_interval(p, ops as u64);
+            }
+            Event::Barrier { id } => self.handle_barrier(p, id),
+            Event::Acquire { lock } => self.handle_acquire(p, lock),
+            Event::Release { lock } => self.handle_release(p, lock),
+            Event::End => {
+                self.procs[p].finished = true;
+                self.procs[p].sync_stats();
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn advance_interval(&mut self, p: usize, insns: u64) {
+        if let Some((index, insns, cycles)) = self.procs[p].advance_interval(insns) {
+            self.observer
+                .on_interval(p, IntervalStats { index, insns, cycles });
+        }
+    }
+
+    /// Full memory-access path; returns the home node of the access (every
+    /// committed access reports its home to the observer, hit or miss —
+    /// the paper's F matrix counts *committed accesses*, not misses).
+    fn mem_access(&mut self, p: usize, addr: u64, write: bool) -> usize {
+        let block = block_of(addr);
+        let home = self.homes.home(block, p);
+        self.procs[p].stats.mem_refs += 1;
+
+        if matches!(self.procs[p].l1.access(addr, write), crate::cache::Lookup::Hit) {
+            return home; // 1-cycle pipelined hit: no stall.
+        }
+        self.procs[p].stats.l1_misses += 1;
+
+        match self.procs[p].l2.access(addr, write) {
+            crate::cache::Lookup::Hit => {
+                let lat = self.cfg.l2.latency_cycles;
+                self.procs[p].charge_mem_stall(lat);
+            }
+            crate::cache::Lookup::Miss { writeback } => {
+                self.procs[p].stats.l2_misses += 1;
+                if let Some(victim) = writeback {
+                    self.handle_writeback(p, victim);
+                }
+                if home == p {
+                    self.procs[p].stats.local_home_misses += 1;
+                } else {
+                    self.procs[p].stats.remote_home_misses += 1;
+                }
+                let raw = self.cfg.l2.latency_cycles + self.coherence_stall(p, block, home, write);
+                self.procs[p].charge_mem_stall(raw);
+            }
+        }
+        home
+    }
+
+    /// Resolve an L2 miss through the home directory; returns the raw
+    /// (undiscounted) stall beyond the L2 lookup.
+    fn coherence_stall(&mut self, p: usize, block: u64, home: usize, write: bool) -> u64 {
+        let now = self.procs[p].cycle;
+        let req_lat = self.net.send_at(p, home, false, now);
+        let arrive = now + req_lat + self.cfg.directory_cycles;
+
+        let (data_lat, inval_lat) = if write {
+            let o = self.dir.write(block, p);
+            // Invalidations fan out from the home in parallel; the write
+            // completes when the slowest acknowledgment returns.
+            let mut inval_lat = 0u64;
+            let mut mask = o.invalidate_mask;
+            while mask != 0 {
+                let q = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.procs[q].l1.invalidate(block);
+                self.procs[q].l2.invalidate(block);
+                let out = self.net.send_at(home, q, false, arrive);
+                let back = self.net.send_at(q, home, false, arrive + out);
+                inval_lat = inval_lat.max(out + back);
+            }
+            let data_lat = if let Some(owner) = o.owner_forward {
+                // Dirty owner forwards directly to the requester.
+                let fwd = self.net.send_at(home, owner, false, arrive);
+                fwd + self.net.send_at(owner, p, true, arrive + fwd)
+            } else if o.from_memory {
+                let svc = self.memctrls[home].request_block(block >> 5, arrive);
+                self.procs[p].stats.contention_cycles += svc.queue_delay;
+                let mem = svc.done_at - arrive;
+                let reply = if home != p {
+                    self.net.send_at(home, p, true, svc.done_at)
+                } else {
+                    0
+                };
+                mem + reply
+            } else {
+                0 // upgrade: data already present, only acks matter
+            };
+            (data_lat, inval_lat)
+        } else {
+            let o = self.dir.read(block, p);
+            let data_lat = match o.source {
+                ReadSource::Memory => {
+                    let svc = self.memctrls[home].request_block(block >> 5, arrive);
+                    self.procs[p].stats.contention_cycles += svc.queue_delay;
+                    let mem = svc.done_at - arrive;
+                    let reply = if home != p {
+                        self.net.send_at(home, p, true, svc.done_at)
+                    } else {
+                        0
+                    };
+                    mem + reply
+                }
+                ReadSource::Owner(owner) => {
+                    // Owner downgrades to shared, forwards data, and the
+                    // dirty block is written back to home memory (occupying
+                    // the controller, off the critical path).
+                    let was_dirty = self.procs[owner].l2.downgrade(block)
+                        | self.procs[owner].l1.downgrade(block);
+                    let fwd = self.net.send_at(home, owner, false, arrive);
+                    if was_dirty {
+                        let svc = self.memctrls[home].request_block(block >> 5, arrive + fwd);
+                        let _ = svc; // bandwidth consumed; not on critical path
+                        self.net.send_at(owner, home, true, arrive + fwd);
+                    }
+                    fwd + self.net.send_at(owner, p, true, arrive + fwd)
+                }
+            };
+            (data_lat, 0)
+        };
+
+        req_lat + self.cfg.directory_cycles + data_lat.max(inval_lat)
+    }
+
+    /// A dirty L2 victim is written back to its home (buffered: consumes
+    /// home bandwidth and updates the directory, but does not stall `p`).
+    fn handle_writeback(&mut self, p: usize, victim: u64) {
+        let block = block_of(victim);
+        let home = self.homes.home(block, p);
+        let now = self.procs[p].cycle;
+        if home != p {
+            self.net.send_at(p, home, true, now);
+        }
+        self.memctrls[home].request_block(block >> 5, now);
+        self.dir.writeback(block, p);
+        // The L1 may still hold the line; keep inclusion by dropping it.
+        self.procs[p].l1.invalidate(block);
+    }
+
+    fn handle_barrier(&mut self, p: usize, id: u32) {
+        let sync = self.cfg.sync_cycles;
+        {
+            let proc = &mut self.procs[p];
+            proc.stats.sync_ops += 1;
+            proc.cycle += sync;
+        }
+        match self.barrier.current_id {
+            None => self.barrier.current_id = Some(id),
+            Some(cur) => assert_eq!(
+                cur, id,
+                "barrier mismatch: processor {p} arrived at {id}, expected {cur}"
+            ),
+        }
+        assert_eq!(
+            self.barrier.arrived_mask & (1 << p),
+            0,
+            "processor {p} arrived twice at barrier {id}"
+        );
+        self.barrier.arrived_mask |= 1 << p;
+        self.barrier.arrival_cycle[p] = self.procs[p].cycle;
+        self.procs[p].blocked = true;
+        self.procs[p].blocked_since = self.procs[p].cycle;
+
+        let all = if self.cfg.n_procs == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.n_procs) - 1
+        };
+        if self.barrier.arrived_mask == all {
+            // Release: slowest arrival plus a dimension-order reduce +
+            // broadcast across the hypercube.
+            let slowest = *self.barrier.arrival_cycle.iter().max().unwrap();
+            let fan = 2 * self.net.dim() as u64
+                * (self.cfg.network.hop_cycles + self.cfg.network.router_cycles);
+            let release = slowest + fan;
+            for q in 0..self.cfg.n_procs {
+                let pr = &mut self.procs[q];
+                pr.stats.sync_wait_cycles += release - pr.blocked_since;
+                pr.cycle = release;
+                pr.blocked = false;
+            }
+            self.barrier.current_id = None;
+            self.barrier.arrived_mask = 0;
+        }
+    }
+
+    fn handle_acquire(&mut self, p: usize, lock: u32) {
+        let sync = self.cfg.sync_cycles;
+        {
+            let proc = &mut self.procs[p];
+            proc.stats.sync_ops += 1;
+            proc.cycle += sync;
+        }
+        let st = self.locks.entry(lock).or_default();
+        if st.owner.is_none() {
+            st.owner = Some(p);
+        } else {
+            assert_ne!(st.owner, Some(p), "processor {p} re-acquired lock {lock}");
+            st.waiters.push_back(p);
+            self.procs[p].blocked = true;
+            self.procs[p].blocked_since = self.procs[p].cycle;
+        }
+    }
+
+    fn handle_release(&mut self, p: usize, lock: u32) {
+        let sync = self.cfg.sync_cycles;
+        {
+            let proc = &mut self.procs[p];
+            proc.stats.sync_ops += 1;
+            proc.cycle += sync;
+        }
+        let st = self
+            .locks
+            .get_mut(&lock)
+            .unwrap_or_else(|| panic!("release of never-acquired lock {lock}"));
+        assert_eq!(
+            st.owner,
+            Some(p),
+            "processor {p} released lock {lock} it does not own"
+        );
+        if let Some(q) = st.waiters.pop_front() {
+            st.owner = Some(q);
+            let now = self.procs[p].cycle;
+            let transfer = self.net.send_at(p, q, false, now);
+            let release_at = self.procs[p].cycle + transfer;
+            let pr = &mut self.procs[q];
+            let resume = release_at.max(pr.blocked_since);
+            pr.stats.sync_wait_cycles += resume - pr.blocked_since;
+            pr.cycle = resume;
+            pr.blocked = false;
+        } else {
+            st.owner = None;
+        }
+    }
+
+    fn finish_stats(&mut self) -> SystemStats {
+        for pr in &mut self.procs {
+            pr.sync_stats();
+        }
+        SystemStats {
+            procs: self.procs.iter().map(|p| p.stats).collect(),
+            directory: self.dir.stats(),
+            network: self.net.stats(),
+            memctrls: self.memctrls.iter().map(|m| m.stats()).collect(),
+            finish_cycle: self.procs.iter().map(|p| p.cycle).max().unwrap_or(0),
+        }
+    }
+
+    /// Events executed so far (diagnostics).
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::explicit_addr;
+    use crate::observer::NullObserver;
+
+    /// A scripted stream: fixed event vectors per processor.
+    struct Script {
+        events: Vec<Vec<Event>>,
+        pos: Vec<usize>,
+    }
+
+    impl Script {
+        fn new(events: Vec<Vec<Event>>) -> Self {
+            let n = events.len();
+            Self { events, pos: vec![0; n] }
+        }
+    }
+
+    impl InstructionStream for Script {
+        fn n_procs(&self) -> usize {
+            self.events.len()
+        }
+        fn next(&mut self, proc: usize) -> Event {
+            let i = self.pos[proc];
+            if i < self.events[proc].len() {
+                self.pos[proc] += 1;
+                self.events[proc][i]
+            } else {
+                Event::End
+            }
+        }
+    }
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig::with_interval_base(n, 1_000_000)
+    }
+
+    #[test]
+    fn empty_streams_finish_immediately() {
+        let sys = System::new(cfg(2), Script::new(vec![vec![], vec![]]), NullObserver);
+        let (stats, _) = sys.run();
+        assert_eq!(stats.finish_cycle, 0);
+        assert_eq!(stats.total_insns(), 0);
+    }
+
+    #[test]
+    fn single_proc_compute_only() {
+        let ev = vec![
+            Event::Block { bb: 1, insns: 60, taken: true },
+            Event::Fp { ops: 40 },
+        ];
+        let sys = System::new(cfg(1), Script::new(vec![ev]), NullObserver);
+        let (stats, _) = sys.run();
+        assert_eq!(stats.total_insns(), 100);
+        // 60/6 + 40/4 = 20 cycles, plus possible mispredict penalty.
+        assert!(stats.finish_cycle >= 20 && stats.finish_cycle <= 20 + 14);
+    }
+
+    #[test]
+    fn local_miss_then_hit() {
+        let a = explicit_addr(0, 0x100);
+        let ev = vec![
+            Event::Mem { addr: a, write: false },
+            Event::Mem { addr: a, write: false },
+        ];
+        let sys = System::new(cfg(1), Script::new(vec![ev]), NullObserver);
+        let (stats, _) = sys.run();
+        let p = &stats.procs[0];
+        assert_eq!(p.mem_refs, 2);
+        assert_eq!(p.l1_misses, 1);
+        assert_eq!(p.l2_misses, 1);
+        assert_eq!(p.local_home_misses, 1);
+        assert!(p.mem_stall_cycles > 0);
+    }
+
+    #[test]
+    fn remote_miss_costs_more_than_local() {
+        let run = |home: usize| {
+            let a = explicit_addr(home, 0x100);
+            let ev0 = vec![Event::Mem { addr: a, write: false }];
+            let sys = System::new(
+                cfg(2),
+                Script::new(vec![ev0, vec![]]),
+                NullObserver,
+            );
+            let (stats, _) = sys.run();
+            stats.procs[0].mem_stall_cycles
+        };
+        let local = run(0);
+        let remote = run(1);
+        assert!(remote > local, "remote {remote} should exceed local {local}");
+    }
+
+    #[test]
+    fn coherence_write_invalidates_reader() {
+        // P0 reads a block homed at 0; P1 then writes it; P0 reads again and
+        // must miss (its copy was invalidated).
+        let a = explicit_addr(0, 0x40);
+        let ev0 = vec![
+            Event::Mem { addr: a, write: false },
+            Event::Barrier { id: 0 },
+            Event::Barrier { id: 1 },
+            Event::Mem { addr: a, write: false },
+        ];
+        let ev1 = vec![
+            Event::Barrier { id: 0 },
+            Event::Mem { addr: a, write: true },
+            Event::Barrier { id: 1 },
+        ];
+        let sys = System::new(cfg(2), Script::new(vec![ev0, ev1]), NullObserver);
+        let (stats, _) = sys.run();
+        assert_eq!(stats.procs[0].l1_misses, 2, "second read must re-miss");
+        assert_eq!(stats.directory.invalidations, 1);
+        assert_eq!(stats.directory.owner_forwards, 1, "P1's write pulled the block from P0's E state");
+    }
+
+    #[test]
+    fn barrier_aligns_cycles() {
+        let ev0 = vec![
+            Event::Block { bb: 1, insns: 6000, taken: true },
+            Event::Barrier { id: 7 },
+        ];
+        let ev1 = vec![Event::Barrier { id: 7 }];
+        let sys = System::new(cfg(2), Script::new(vec![ev0, ev1]), NullObserver);
+        let (stats, _) = sys.run();
+        assert_eq!(stats.procs[0].cycles, stats.procs[1].cycles);
+        assert!(stats.procs[1].sync_wait_cycles >= 900, "fast proc waits");
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier mismatch")]
+    fn mismatched_barrier_ids_panic() {
+        let sys = System::new(
+            cfg(2),
+            Script::new(vec![vec![Event::Barrier { id: 1 }], vec![Event::Barrier { id: 2 }]]),
+            NullObserver,
+        );
+        let _ = sys.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn missing_barrier_partner_deadlocks() {
+        let sys = System::new(
+            cfg(2),
+            Script::new(vec![vec![Event::Barrier { id: 0 }], vec![]]),
+            NullObserver,
+        );
+        let _ = sys.run();
+    }
+
+    #[test]
+    fn lock_serializes_critical_sections() {
+        let cs = |n: u32| {
+            vec![
+                Event::Acquire { lock: 9 },
+                Event::Block { bb: n, insns: 600, taken: true },
+                Event::Release { lock: 9 },
+            ]
+        };
+        let sys = System::new(cfg(2), Script::new(vec![cs(1), cs(2)]), NullObserver);
+        let (stats, _) = sys.run();
+        // One of the two must have waited for the other's critical section.
+        let waited: u64 = stats.procs.iter().map(|p| p.sync_wait_cycles).sum();
+        assert!(waited >= 100, "someone must wait, got {waited}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not own")]
+    fn release_without_ownership_panics() {
+        let sys = System::new(
+            cfg(2),
+            Script::new(vec![
+                vec![Event::Acquire { lock: 1 }],
+                vec![Event::Release { lock: 1 }],
+            ]),
+            NullObserver,
+        );
+        let _ = sys.run();
+    }
+
+    #[test]
+    fn intervals_fire_with_observer() {
+        struct Counter {
+            intervals: usize,
+            blocks: usize,
+            mems: usize,
+        }
+        impl SimObserver for Counter {
+            fn on_block_commit(&mut self, _: usize, _: u32, _: u32) {
+                self.blocks += 1;
+            }
+            fn on_mem_commit(&mut self, _: usize, _: usize, _: u64, _: bool) {
+                self.mems += 1;
+            }
+            fn on_interval(&mut self, _: usize, s: IntervalStats) {
+                assert!(s.insns >= 100);
+                self.intervals += 1;
+            }
+        }
+        // interval base 100 over 1 proc = 100 insns/interval.
+        let mut evs = vec![];
+        for i in 0..50 {
+            evs.push(Event::Block { bb: i % 4, insns: 10, taken: true });
+            evs.push(Event::Mem { addr: explicit_addr(0, (i as u64) * 32), write: false });
+        }
+        let sys = System::new(
+            SystemConfig::with_interval_base(1, 100),
+            Script::new(vec![evs]),
+            Counter { intervals: 0, blocks: 0, mems: 0 },
+        );
+        let (_, obs) = sys.run();
+        assert_eq!(obs.blocks, 50);
+        assert_eq!(obs.mems, 50);
+        // 50*10 + 50 = 550 insns -> 5 intervals of >=100.
+        assert_eq!(obs.intervals, 5);
+    }
+
+    #[test]
+    fn contention_accumulates_on_hot_home() {
+        // 4 procs all stream distinct blocks homed at node 0.
+        let mk = |p: usize| {
+            (0..200u64)
+                .map(|i| Event::Mem {
+                    addr: explicit_addr(0, (p as u64 * 10_000 + i) * 32),
+                    write: false,
+                })
+                .collect::<Vec<_>>()
+        };
+        let sys = System::new(
+            cfg(4),
+            Script::new((0..4).map(mk).collect()),
+            NullObserver,
+        );
+        let (stats, _) = sys.run();
+        let contention: u64 = stats.procs.iter().map(|p| p.contention_cycles).sum();
+        assert!(contention > 0, "hot home must produce queueing delay");
+        assert_eq!(stats.memctrls[0].requests, 800);
+    }
+
+    #[test]
+    fn lock_waiters_are_served_fifo() {
+        // P0 takes the lock and computes; P1 then P2 queue up (P1 arrives
+        // earlier because P2 computes longer first). Hand-off must be FIFO.
+        let ev0 = vec![
+            Event::Acquire { lock: 3 },
+            Event::Block { bb: 1, insns: 60_000, taken: true },
+            Event::Release { lock: 3 },
+        ];
+        let ev1 = vec![
+            Event::Block { bb: 2, insns: 600, taken: true },
+            Event::Acquire { lock: 3 },
+            Event::Block { bb: 2, insns: 60_000, taken: true },
+            Event::Release { lock: 3 },
+        ];
+        let ev2 = vec![
+            Event::Block { bb: 3, insns: 6_000, taken: true },
+            Event::Acquire { lock: 3 },
+            Event::Release { lock: 3 },
+        ];
+        let sys = System::new(cfg(4), Script::new(vec![ev0, ev1, ev2, vec![]]), NullObserver);
+        let (stats, _) = sys.run();
+        // P1 (first waiter) resumes before P2: P2's wait includes P1's
+        // whole critical section.
+        assert!(
+            stats.procs[2].sync_wait_cycles > stats.procs[1].sync_wait_cycles,
+            "second waiter must wait longer: {} vs {}",
+            stats.procs[2].sync_wait_cycles,
+            stats.procs[1].sync_wait_cycles
+        );
+    }
+
+    #[test]
+    fn interval_spanning_a_barrier_includes_the_wait() {
+        struct Grab(Vec<(u64, u64)>);
+        impl SimObserver for Grab {
+            fn on_block_commit(&mut self, _: usize, _: u32, _: u32) {}
+            fn on_mem_commit(&mut self, _: usize, _: usize, _: u64, _: bool) {}
+            fn on_interval(&mut self, proc: usize, s: IntervalStats) {
+                if proc == 0 {
+                    self.0.push((s.insns, s.cycles));
+                }
+            }
+        }
+        // interval = 100 insns; P0 commits 60, waits at a barrier for the
+        // slow P1, then commits 60 more -> its first interval spans the
+        // barrier and must include the wait cycles.
+        let ev0 = vec![
+            Event::Block { bb: 1, insns: 60, taken: true },
+            Event::Barrier { id: 0 },
+            Event::Block { bb: 1, insns: 60, taken: true },
+        ];
+        let ev1 = vec![
+            Event::Block { bb: 2, insns: 60_000, taken: true },
+            Event::Barrier { id: 0 },
+            Event::Block { bb: 2, insns: 60, taken: true },
+        ];
+        let sys = System::new(
+            SystemConfig::with_interval_base(2, 200),
+            Script::new(vec![ev0, ev1]),
+            Grab(Vec::new()),
+        );
+        let (_, grab) = sys.run();
+        assert_eq!(grab.0.len(), 1);
+        let (insns, cycles) = grab.0[0];
+        assert_eq!(insns, 120);
+        assert!(cycles > 10_000 / 6, "wait cycles must be charged, got {cycles}");
+    }
+
+    #[test]
+    fn events_after_end_are_never_requested() {
+        // Script returns End forever once exhausted; the system must not
+        // keep polling a finished processor.
+        struct CountingScript {
+            inner: Script,
+            polls_after_end: std::cell::Cell<u32>,
+            ended: Vec<bool>,
+        }
+        impl InstructionStream for CountingScript {
+            fn n_procs(&self) -> usize {
+                self.inner.n_procs()
+            }
+            fn next(&mut self, proc: usize) -> Event {
+                if self.ended[proc] {
+                    self.polls_after_end.set(self.polls_after_end.get() + 1);
+                }
+                let e = self.inner.next(proc);
+                if e == Event::End {
+                    self.ended[proc] = true;
+                }
+                e
+            }
+        }
+        let script = CountingScript {
+            inner: Script::new(vec![
+                vec![Event::Block { bb: 1, insns: 10, taken: true }],
+                vec![Event::Block { bb: 2, insns: 10_000, taken: true }],
+            ]),
+            polls_after_end: std::cell::Cell::new(0),
+            ended: vec![false; 2],
+        };
+        let sys = System::new(cfg(2), script, NullObserver);
+        let (stats, _) = sys.run();
+        assert_eq!(stats.total_insns(), 10_010);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let mk = || {
+            let evs: Vec<Vec<Event>> = (0..4)
+                .map(|p: usize| {
+                    (0..100u64)
+                        .flat_map(|i| {
+                            [
+                                Event::Block { bb: (i % 7) as u32, insns: 12, taken: i % 3 != 0 },
+                                Event::Mem {
+                                    addr: explicit_addr((i % 4) as usize, (p as u64 * 64 + i) * 32),
+                                    write: i % 5 == 0,
+                                },
+                            ]
+                        })
+                        .collect()
+                })
+                .collect();
+            let sys = System::new(cfg(4), Script::new(evs), NullObserver);
+            sys.run().0
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+    }
+}

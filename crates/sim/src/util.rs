@@ -1,0 +1,126 @@
+//! Small utilities shared across the simulator: a fast FxHash-style hasher
+//! (reimplemented here rather than adding a dependency) and hash-map type
+//! aliases keyed on it.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit Fx multiplication constant (as used by rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher in the style of rustc's `FxHasher`.
+///
+/// Directory maps are keyed by block addresses, which are dense and
+/// well-distributed; SipHash's DoS resistance buys nothing here and costs a
+/// lot (see the perf-book's Hashing chapter). This is a from-scratch
+/// implementation of the same multiply-rotate scheme.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Integer ceiling division for cycle accounting.
+#[inline]
+pub fn div_ceil(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+/// A splitmix64 step; used to derive well-distributed pseudo-addresses and
+/// hash bucket indices from small integers without any `rand` dependency in
+/// the simulator itself.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+    use std::hash::BuildHasherDefault;
+
+    #[test]
+    fn fxhash_is_deterministic() {
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let a = bh.hash_one(0xdead_beef_u64);
+        let b = bh.hash_one(0xdead_beef_u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fxhash_distinguishes_values() {
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        assert_ne!(bh.hash_one(1u64), bh.hash_one(2u64));
+    }
+
+    #[test]
+    fn fxhash_handles_unaligned_bytes() {
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        // 3-byte and 11-byte writes exercise the chunked path.
+        assert_ne!(bh.hash_one([1u8, 2, 3]), bh.hash_one([1u8, 2, 4]));
+        assert_ne!(bh.hash_one([0u8; 11]), bh.hash_one([1u8; 11]));
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(div_ceil(0, 6), 0);
+        assert_eq!(div_ceil(1, 6), 1);
+        assert_eq!(div_ceil(6, 6), 1);
+        assert_eq!(div_ceil(7, 6), 2);
+    }
+
+    #[test]
+    fn splitmix_spreads_small_integers() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        // Low bits should differ too (used for bucket indices).
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+}

@@ -1,0 +1,108 @@
+//! Model-based property tests: the tag-array cache must behave exactly
+//! like an abstract set-associative LRU reference model on arbitrary
+//! access sequences.
+
+use proptest::prelude::*;
+
+use dsm_sim::cache::{Cache, Lookup};
+use dsm_sim::config::CacheConfig;
+
+/// Naive reference: per set, an ordered list of (tag, dirty), most recently
+/// used last.
+struct RefCache {
+    sets: Vec<Vec<(u64, bool)>>,
+    assoc: usize,
+    block_shift: u32,
+    set_bits: u32,
+}
+
+impl RefCache {
+    fn new(n_sets: usize, assoc: usize, block_shift: u32) -> Self {
+        Self {
+            sets: vec![Vec::new(); n_sets],
+            assoc,
+            block_shift,
+            set_bits: n_sets.trailing_zeros(),
+        }
+    }
+
+    fn access(&mut self, addr: u64, write: bool) -> (bool, Option<u64>) {
+        let set_idx = ((addr >> self.block_shift) & ((1 << self.set_bits) - 1)) as usize;
+        let tag = addr >> (self.block_shift + self.set_bits);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|(t, _)| *t == tag) {
+            let (t, d) = set.remove(pos);
+            set.push((t, d | write));
+            return (true, None);
+        }
+        let mut writeback = None;
+        if set.len() == self.assoc {
+            let (vt, vd) = set.remove(0);
+            if vd {
+                writeback = Some(
+                    (vt << (self.block_shift + self.set_bits))
+                        | ((set_idx as u64) << self.block_shift),
+                );
+            }
+        }
+        set.push((tag, write));
+        (false, writeback)
+    }
+}
+
+fn cfg(sets: u64, assoc: u32) -> CacheConfig {
+    CacheConfig { size_bytes: sets * assoc as u64 * 32, assoc, line_bytes: 32, latency_cycles: 1 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_model(
+        accesses in prop::collection::vec((0u64..4096, any::<bool>()), 1..400),
+        assoc in 1u32..8,
+    ) {
+        let sets = 8u64;
+        let mut real = Cache::new(cfg(sets, assoc));
+        let mut reference = RefCache::new(sets as usize, assoc as usize, 5);
+        for (addr, write) in accesses {
+            let got = real.access(addr, write);
+            let (hit, wb) = reference.access(addr, write);
+            match got {
+                Lookup::Hit => prop_assert!(hit, "real hit, model miss at {addr:#x}"),
+                Lookup::Miss { writeback } => {
+                    prop_assert!(!hit, "real miss, model hit at {addr:#x}");
+                    prop_assert_eq!(writeback, wb, "writeback mismatch at {:#x}", addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_then_access_misses(
+        addr in 0u64..100_000,
+        warmup in prop::collection::vec(0u64..100_000, 0..50),
+    ) {
+        let mut c = Cache::new(cfg(16, 2));
+        for a in warmup {
+            c.access(a, false);
+        }
+        c.access(addr, true);
+        c.invalidate(addr);
+        prop_assert!(!c.probe(addr));
+        let miss = matches!(c.access(addr, false), Lookup::Miss { .. });
+        prop_assert!(miss);
+    }
+
+    #[test]
+    fn hit_rate_bounded_and_stats_consistent(
+        accesses in prop::collection::vec((0u64..2048, any::<bool>()), 1..200),
+    ) {
+        let mut c = Cache::new(cfg(8, 4));
+        let n = accesses.len() as u64;
+        for (a, w) in accesses {
+            c.access(a, w);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), n);
+    }
+}

@@ -1,0 +1,143 @@
+//! Whole-system property test: arbitrary *well-formed* workloads (random
+//! compute/memory mixes with aligned barriers and matched lock pairs) must
+//! run to completion with coherent statistics on any machine size.
+
+use proptest::prelude::*;
+
+use dsm_sim::addr::explicit_addr;
+use dsm_sim::config::SystemConfig;
+use dsm_sim::event::{Event, InstructionStream};
+use dsm_sim::observer::NullObserver;
+use dsm_sim::system::System;
+
+struct Script {
+    events: Vec<Vec<Event>>,
+    pos: Vec<usize>,
+}
+
+impl InstructionStream for Script {
+    fn n_procs(&self) -> usize {
+        self.events.len()
+    }
+    fn next(&mut self, proc: usize) -> Event {
+        let i = self.pos[proc];
+        if i < self.events[proc].len() {
+            self.pos[proc] += 1;
+            self.events[proc][i]
+        } else {
+            Event::End
+        }
+    }
+}
+
+/// A compact recipe for one processor's work between synchronization
+/// points.
+#[derive(Debug, Clone)]
+struct Burst {
+    insns: u32,
+    fp: u32,
+    mem: Vec<(usize, u32, bool)>, // (home, line, write)
+    take_lock: bool,
+}
+
+fn burst_strategy(n_procs: usize) -> impl Strategy<Value = Burst> {
+    (
+        1u32..5000,
+        0u32..2000,
+        prop::collection::vec((0..n_procs, 0u32..64, any::<bool>()), 0..30),
+        any::<bool>(),
+    )
+        .prop_map(|(insns, fp, mem, take_lock)| Burst { insns, fp, mem, take_lock })
+}
+
+/// Expand per-proc bursts into event streams with `n_barriers` aligned
+/// barriers woven between bursts.
+fn build_streams(bursts: &[Vec<Burst>], n_barriers: usize) -> Vec<Vec<Event>> {
+    bursts
+        .iter()
+        .map(|proc_bursts| {
+            let mut evs = Vec::new();
+            let per_seg = proc_bursts.len() / (n_barriers + 1);
+            for (i, b) in proc_bursts.iter().enumerate() {
+                evs.push(Event::Block { bb: (i % 11) as u32, insns: b.insns, taken: i % 3 != 0 });
+                if b.fp > 0 {
+                    evs.push(Event::Fp { ops: b.fp });
+                }
+                if b.take_lock {
+                    evs.push(Event::Acquire { lock: 1 });
+                    evs.push(Event::Block { bb: 99, insns: 5, taken: false });
+                    evs.push(Event::Release { lock: 1 });
+                }
+                for &(home, line, write) in &b.mem {
+                    evs.push(Event::Mem { addr: explicit_addr(home, line as u64 * 32), write });
+                }
+                // Barrier after every segment boundary.
+                if per_seg > 0 && (i + 1) % per_seg == 0 {
+                    let id = ((i + 1) / per_seg - 1) as u32;
+                    if (id as usize) < n_barriers {
+                        evs.push(Event::Barrier { id });
+                    }
+                }
+            }
+            // Everyone arrives at any barrier they haven't hit yet (tail
+            // alignment so the run cannot deadlock).
+            let hit = evs.iter().filter(|e| matches!(e, Event::Barrier { .. })).count();
+            for id in hit..n_barriers {
+                evs.push(Event::Barrier { id: id as u32 });
+            }
+            evs
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_wellformed_workloads_complete_with_sane_stats(
+        logp in 0u32..4,
+        n_barriers in 0usize..4,
+        seed_bursts in prop::collection::vec(burst_strategy(8), 8..40),
+    ) {
+        let p = 1usize << logp;
+        // Same burst pool sliced per proc (lengths equal => barriers align).
+        let bursts: Vec<Vec<Burst>> = (0..p)
+            .map(|q| {
+                seed_bursts
+                    .iter()
+                    .cloned()
+                    .map(|mut b| {
+                        b.mem.retain(|(h, _, _)| *h < p);
+                        b.insns = b.insns.wrapping_add(q as u32 * 7) % 5000 + 1;
+                        b
+                    })
+                    .collect()
+            })
+            .collect();
+        let events = build_streams(&bursts, n_barriers);
+        let total_expected: u64 = events
+            .iter()
+            .flatten()
+            .map(|e| e.nonsync_insns())
+            .sum();
+
+        let cfg = SystemConfig::with_interval_base(p, 50_000);
+        let sys = System::new(cfg, Script { events, pos: vec![0; p] }, NullObserver);
+        let (stats, _) = sys.run();
+
+        prop_assert_eq!(stats.total_insns(), total_expected);
+        prop_assert!(stats.finish_cycle >= total_expected / (6 * p as u64));
+        for pr in &stats.procs {
+            prop_assert!(pr.l1_misses <= pr.mem_refs);
+            prop_assert!(pr.l2_misses <= pr.l1_misses);
+            prop_assert_eq!(pr.local_home_misses + pr.remote_home_misses, pr.l2_misses);
+            prop_assert!(pr.cycles >= pr.insns / 6);
+        }
+        // Determinism: a second identical run agrees exactly.
+        let events2 = build_streams(&bursts, n_barriers);
+        let cfg2 = SystemConfig::with_interval_base(p, 50_000);
+        let sys2 = System::new(cfg2, Script { events: events2, pos: vec![0; p] }, NullObserver);
+        let (stats2, _) = sys2.run();
+        prop_assert_eq!(stats, stats2);
+    }
+}

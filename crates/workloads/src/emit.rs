@@ -1,0 +1,124 @@
+//! Event-emission helpers shared by the workload models.
+//!
+//! Events are coarse on purpose (one `Block` per loop burst, one `Mem` per
+//! cache line) — see `dsm_sim::event`. These helpers keep the per-app state
+//! machines readable.
+
+use dsm_sim::event::Event;
+
+use crate::mem::Region;
+
+/// Emit a loop burst: the body's basic block `bb` committing `insns`
+/// instructions in total (taken back-edge), followed by the loop exit
+/// (not-taken occurrence of the same branch).
+pub fn loop_burst(buf: &mut Vec<Event>, bb: u32, insns: u32) {
+    if insns == 0 {
+        return;
+    }
+    if insns > 2 {
+        buf.push(Event::Block { bb, insns: insns - 2, taken: true });
+        buf.push(Event::Block { bb, insns: 2, taken: false });
+    } else {
+        buf.push(Event::Block { bb, insns, taken: false });
+    }
+}
+
+/// Emit a straight-line block (unconditional control transfer at the end).
+pub fn straight(buf: &mut Vec<Event>, bb: u32, insns: u32) {
+    if insns > 0 {
+        buf.push(Event::Block { bb, insns, taken: true });
+    }
+}
+
+/// Emit a floating-point burst.
+pub fn fp(buf: &mut Vec<Event>, ops: u32) {
+    if ops > 0 {
+        buf.push(Event::Fp { ops });
+    }
+}
+
+/// Read every cache line of a region once.
+pub fn read_region(buf: &mut Vec<Event>, r: &Region) {
+    for i in 0..r.lines() {
+        buf.push(Event::Mem { addr: r.line(i), write: false });
+    }
+}
+
+/// Read a sub-range of lines `[start, start+count)`.
+pub fn read_lines(buf: &mut Vec<Event>, r: &Region, start: u64, count: u64) {
+    debug_assert!(start + count <= r.lines());
+    for i in start..start + count {
+        buf.push(Event::Mem { addr: r.line(i), write: false });
+    }
+}
+
+/// Write every cache line of a region once.
+pub fn write_region(buf: &mut Vec<Event>, r: &Region) {
+    for i in 0..r.lines() {
+        buf.push(Event::Mem { addr: r.line(i), write: true });
+    }
+}
+
+/// Read-modify-write every cache line of a region.
+pub fn update_region(buf: &mut Vec<Event>, r: &Region) {
+    for i in 0..r.lines() {
+        buf.push(Event::Mem { addr: r.line(i), write: false });
+        buf.push(Event::Mem { addr: r.line(i), write: true });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::NodeAlloc;
+
+    #[test]
+    fn loop_burst_ends_not_taken() {
+        let mut buf = vec![];
+        loop_burst(&mut buf, 5, 100);
+        assert_eq!(buf.len(), 2);
+        assert!(matches!(buf[0], Event::Block { bb: 5, insns: 98, taken: true }));
+        assert!(matches!(buf[1], Event::Block { bb: 5, insns: 2, taken: false }));
+        // Total instruction weight is preserved.
+        let total: u64 = buf.iter().map(|e| e.nonsync_insns()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn tiny_and_empty_bursts() {
+        let mut buf = vec![];
+        loop_burst(&mut buf, 1, 0);
+        assert!(buf.is_empty());
+        loop_burst(&mut buf, 1, 2);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn region_traffic_counts() {
+        let mut a = NodeAlloc::new(2);
+        let r = a.alloc(1, 4 * 32);
+        let mut buf = vec![];
+        read_region(&mut buf, &r);
+        assert_eq!(buf.len(), 4);
+        assert!(buf.iter().all(|e| matches!(e, Event::Mem { write: false, .. })));
+
+        buf.clear();
+        update_region(&mut buf, &r);
+        assert_eq!(buf.len(), 8);
+        let writes = buf
+            .iter()
+            .filter(|e| matches!(e, Event::Mem { write: true, .. }))
+            .count();
+        assert_eq!(writes, 4);
+    }
+
+    #[test]
+    fn read_lines_subrange() {
+        let mut a = NodeAlloc::new(1);
+        let r = a.alloc(0, 10 * 32);
+        let mut buf = vec![];
+        read_lines(&mut buf, &r, 2, 3);
+        assert_eq!(buf.len(), 3);
+        assert!(matches!(buf[0], Event::Mem { addr, .. } if addr == r.line(2)));
+    }
+}

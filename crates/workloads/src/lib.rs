@@ -1,0 +1,39 @@
+//! # dsm-workloads — structural workload models
+//!
+//! The paper evaluates on SPLASH-2 LU and FMM and SPEC-OMP Art and Equake
+//! (Table II). We cannot run the original binaries inside a from-scratch
+//! simulator, so each application is modelled *structurally*: a
+//! per-processor state machine that emits the real algorithm's basic-block
+//! and memory-reference pattern — who owns which data, which homes each
+//! phase of the computation touches, how work shrinks/rotates over time,
+//! and where the synchronization points are. The phase detectors consume
+//! only committed basic blocks and per-home access counts, so these are
+//! exactly the properties that must be faithful (see DESIGN.md §2).
+//!
+//! * [`lu`] — blocked dense LU with 2-D scatter block ownership
+//!   (diagonal → perimeter → interior steps, shrinking active window);
+//! * [`fmm`] — adaptive fast multipole N-body (tree build, upward pass,
+//!   multipole interactions with rotating remote partners, direct
+//!   neighbour forces, particle update);
+//! * [`art`] — ART2 neural-net image scanner (F1 layer, distributed F2
+//!   weight matching, lock-guarded winner search, moving-hot-spot weight
+//!   updates);
+//! * [`equake`] — unstructured-mesh seismic FEM (sparse MVP with ghost
+//!   exchange, vector updates, early-timestep source application, global
+//!   reductions);
+//! * [`synth`] — synthetic phased workloads with ground-truth labels for
+//!   validating detectors and the CoV machinery.
+
+pub mod app;
+pub mod art;
+pub mod emit;
+pub mod equake;
+pub mod fmm;
+pub mod inputs;
+pub mod lu;
+pub mod mem;
+pub mod ocean;
+pub mod synth;
+
+pub use app::{make_stream, App, Workload};
+pub use inputs::{AppInput, Scale};

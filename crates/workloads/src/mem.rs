@@ -1,0 +1,127 @@
+//! Data placement for workloads: a per-node bump allocator over the
+//! explicit-home address space, and contiguous single-home regions.
+
+use dsm_sim::addr::{explicit_addr, Addr, NodeId, BLOCK_BYTES};
+
+/// Allocates non-overlapping regions in each node's explicit address range.
+#[derive(Debug, Clone)]
+pub struct NodeAlloc {
+    next: Vec<u64>,
+}
+
+/// Per-home base-offset stagger, in bytes (33 cache lines). Without it,
+/// every node's hottest structure would start at offset 0 and all homes'
+/// data would collide in the same cache sets (set indices come from low
+/// address bits, the home from high bits). Real allocators never hand every
+/// node the same node-local offsets; the odd-line stagger models that.
+const HOME_STAGGER_BYTES: u64 = 33 * BLOCK_BYTES;
+
+impl NodeAlloc {
+    pub fn new(n_nodes: usize) -> Self {
+        Self {
+            next: (0..n_nodes as u64).map(|h| h * HOME_STAGGER_BYTES).collect(),
+        }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Allocate `bytes` homed at `home`, block-aligned.
+    pub fn alloc(&mut self, home: NodeId, bytes: u64) -> Region {
+        let aligned = bytes.div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
+        let base = self.next[home];
+        self.next[home] += aligned;
+        Region { home, base, bytes: aligned }
+    }
+}
+
+/// A contiguous, block-aligned allocation homed at a single node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub home: NodeId,
+    base: u64,
+    bytes: u64,
+}
+
+impl Region {
+    /// Address of byte `off` within the region.
+    #[inline]
+    pub fn addr(&self, off: u64) -> Addr {
+        debug_assert!(off < self.bytes, "offset {off} out of region ({} bytes)", self.bytes);
+        explicit_addr(self.home, self.base + off)
+    }
+
+    /// Address of the `i`-th cache line.
+    #[inline]
+    pub fn line(&self, i: u64) -> Addr {
+        self.addr(i * BLOCK_BYTES)
+    }
+
+    /// Number of cache lines in the region.
+    #[inline]
+    pub fn lines(&self) -> u64 {
+        self.bytes / BLOCK_BYTES
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_sim::addr::HOME_SHIFT;
+
+    #[test]
+    fn alloc_is_block_aligned_and_disjoint() {
+        let mut a = NodeAlloc::new(4);
+        let r1 = a.alloc(2, 100); // rounds to 128
+        let r2 = a.alloc(2, 32);
+        assert_eq!(r1.bytes(), 128);
+        assert_eq!(r1.lines(), 4);
+        // r2 starts where r1 ends.
+        assert_eq!(r2.addr(0), r1.addr(0) + 128);
+    }
+
+    #[test]
+    fn regions_on_different_homes_are_independent() {
+        let mut a = NodeAlloc::new(4);
+        let r1 = a.alloc(0, 64);
+        let r2 = a.alloc(3, 64);
+        assert_eq!(r1.addr(0) >> HOME_SHIFT, 0);
+        assert_eq!(r2.addr(0) >> HOME_SHIFT, 3);
+    }
+
+    #[test]
+    fn homes_start_at_staggered_offsets() {
+        // First allocations on different homes must not share low address
+        // bits, or every node's hot data would collide in the same cache
+        // sets.
+        let mut a = NodeAlloc::new(8);
+        let offs: Vec<u64> = (0..8)
+            .map(|h| a.alloc(h, 32).addr(0) & ((1 << HOME_SHIFT) - 1))
+            .collect();
+        let distinct: std::collections::HashSet<u64> = offs.iter().copied().collect();
+        assert_eq!(distinct.len(), 8, "staggered bases must differ: {offs:?}");
+        assert_eq!(offs[1] - offs[0], HOME_STAGGER_BYTES);
+    }
+
+    #[test]
+    fn line_addressing() {
+        let mut a = NodeAlloc::new(2);
+        let r = a.alloc(1, 96);
+        assert_eq!(r.line(0), r.addr(0));
+        assert_eq!(r.line(2), r.addr(64));
+        assert_eq!(r.lines(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_region_access_panics_in_debug() {
+        let mut a = NodeAlloc::new(2);
+        let r = a.alloc(0, 32);
+        let _ = r.addr(32);
+    }
+}

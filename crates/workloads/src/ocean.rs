@@ -1,0 +1,299 @@
+//! Structural model of SPLASH-2 Ocean (eddy-current simulation: red-black
+//! Gauss-Seidel relaxation with a multigrid solver on a regular 2-D grid).
+//!
+//! This application is **not** part of the paper's Table II — it is an
+//! extension demonstrating that the detectors generalize beyond the four
+//! evaluated workloads. Its DSM phase structure is distinctive:
+//!
+//! * **red/black stencil sweeps** exchange fixed subgrid boundaries with
+//!   the four mesh neighbours (steady near-neighbour traffic);
+//! * the **multigrid V-cycle** re-partitions the problem at every level:
+//!   coarse grids live on a shrinking subset of processors, so identical
+//!   stencil code touches a *different* set of remote homes at each level
+//!   — invisible to the BBV, visible to the DDV;
+//! * the **relaxation iteration count decays over timesteps** as the
+//!   solution converges (same code, shrinking work — a temporal phase).
+
+use dsm_sim::event::{ChunkGen, Event};
+
+use crate::app::Workload;
+use crate::emit;
+use crate::inputs::OceanInput;
+use crate::mem::{NodeAlloc, Region};
+
+const BB_STENCIL: u32 = 0x5000;
+const BB_STENCIL_INNER: u32 = 0x5001;
+const BB_RESTRICT: u32 = 0x5010;
+const BB_PROLONG: u32 = 0x5011;
+const BB_REDUCE: u32 = 0x5020;
+
+/// Global error-reduction lock.
+const ERROR_LOCK: u32 = 0x50;
+
+pub struct Ocean {
+    p: usize,
+    input: OceanInput,
+    /// Per-level, per-owning-proc grid partitions. Level 0 is the fine
+    /// grid (all procs); each coarser level halves the grid side and the
+    /// number of participating processors.
+    levels: Vec<Vec<Region>>,
+    state: Vec<usize>, // next timestep per proc
+}
+
+impl Ocean {
+    pub fn new(p: usize, input: OceanInput) -> Self {
+        assert!(p.is_power_of_two());
+        let mut alloc = NodeAlloc::new(p);
+        let mut levels = Vec::new();
+        let mut side = input.grid;
+        let mut procs = p;
+        for _ in 0..input.levels {
+            let rows_per = (side / procs).max(1) as u64;
+            let level: Vec<Region> = (0..procs)
+                .map(|q| alloc.alloc(q, rows_per * side as u64 * 8))
+                .collect();
+            levels.push(level);
+            side = (side / 2).max(4);
+            procs = (procs / 2).max(1);
+        }
+        Self { p, input, levels, state: vec![0; p] }
+    }
+
+    /// Number of multigrid levels actually built.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Processors participating at a level (halves per level).
+    pub fn procs_at_level(&self, level: usize) -> usize {
+        (self.p >> level).max(1)
+    }
+
+    /// Owner of this proc's data at a coarser level (coarse partitions
+    /// merge pairs of fine partitions).
+    pub fn coarse_owner(&self, proc: usize, level: usize) -> usize {
+        proc >> level
+    }
+
+    /// Relaxation sweeps at timestep `t`: starts high and decays as the
+    /// solver converges (never below 1).
+    pub fn sweeps_at(&self, t: usize) -> usize {
+        let decay = t * self.input.sweeps_initial / self.input.timesteps.max(1) / 2;
+        (self.input.sweeps_initial - decay).max(1)
+    }
+
+    /// One red or black half-sweep over this proc's partition at a level.
+    fn emit_half_sweep(&self, buf: &mut Vec<Event>, proc: usize, level: usize) {
+        let procs = self.procs_at_level(level);
+        let owner = self.coarse_owner(proc, level).min(procs - 1);
+        if proc != owner * (1 << level) {
+            // This proc does not participate at this level; it idles to
+            // the barrier (coarse-grid serialization imbalance).
+            return;
+        }
+        let part = &self.levels[level][owner];
+        let lines = part.lines();
+        // Interior stencil: stream half the cells (red or black).
+        emit::read_lines(buf, part, 0, lines / 2);
+        for i in 0..lines / 2 {
+            buf.push(Event::Mem { addr: part.line(i), write: true });
+        }
+        // Boundary exchange with the ring neighbours at this level.
+        for nbr in [
+            (owner + procs - 1) % procs,
+            (owner + 1) % procs,
+        ] {
+            if nbr != owner {
+                let npart = &self.levels[level][nbr];
+                let ghost = 8.min(npart.lines());
+                emit::read_lines(buf, npart, 0, ghost);
+            }
+        }
+        emit::fp(buf, (lines * 5) as u32);
+        emit::loop_burst(buf, BB_STENCIL_INNER, (lines * 3) as u32);
+        emit::straight(buf, BB_STENCIL, 20);
+    }
+
+    fn emit_transfer(&self, buf: &mut Vec<Event>, proc: usize, from: usize, to: usize) {
+        // Restriction/prolongation between levels: the coarse owner reads
+        // the fine partitions it absorbs (or vice versa).
+        let (fine, coarse, bb) =
+            if from < to { (from, to, BB_RESTRICT) } else { (to, from, BB_PROLONG) };
+        let coarse_procs = self.procs_at_level(coarse);
+        let owner = self.coarse_owner(proc, coarse).min(coarse_procs - 1);
+        if proc != owner * (1 << coarse) {
+            return;
+        }
+        // The coarse owner gathers from the fine partitions of the procs it
+        // represents.
+        let fine_procs = self.procs_at_level(fine);
+        let group = fine_procs / coarse_procs;
+        for k in 0..group {
+            let src = (owner * group + k).min(self.levels[fine].len() - 1);
+            let part = &self.levels[fine][src];
+            emit::read_lines(buf, part, 0, (part.lines() / 4).max(1));
+        }
+        let own = &self.levels[coarse][owner];
+        emit::write_region(buf, own);
+        emit::fp(buf, (own.lines() * 4) as u32);
+        emit::loop_burst(buf, bb, (own.lines() * 2) as u32);
+    }
+}
+
+impl ChunkGen for Ocean {
+    fn n_procs(&self) -> usize {
+        self.p
+    }
+
+    fn fill(&mut self, proc: usize, buf: &mut Vec<Event>) {
+        let t = self.state[proc];
+        if t >= self.input.timesteps {
+            return;
+        }
+        let mut barrier = (t * (2 * self.n_levels() + 2)) as u32 * 8;
+
+        // Fine-grid relaxation (converging sweep count).
+        for _ in 0..self.sweeps_at(t) {
+            self.emit_half_sweep(buf, proc, 0); // red
+            self.emit_half_sweep(buf, proc, 0); // black
+        }
+        buf.push(Event::Barrier { id: barrier });
+        barrier += 1;
+
+        // Multigrid V-cycle: down (restrict + relax), then up (prolong).
+        for level in 1..self.n_levels() {
+            self.emit_transfer(buf, proc, level - 1, level);
+            self.emit_half_sweep(buf, proc, level);
+            buf.push(Event::Barrier { id: barrier });
+            barrier += 1;
+        }
+        for level in (1..self.n_levels()).rev() {
+            self.emit_transfer(buf, proc, level, level - 1);
+            buf.push(Event::Barrier { id: barrier });
+            barrier += 1;
+        }
+
+        // Global error reduction.
+        buf.push(Event::Acquire { lock: ERROR_LOCK });
+        emit::straight(buf, BB_REDUCE, 18);
+        buf.push(Event::Release { lock: ERROR_LOCK });
+        buf.push(Event::Barrier { id: barrier });
+
+        self.state[proc] += 1;
+    }
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> &'static str {
+        "Ocean"
+    }
+    fn input_desc(&self) -> String {
+        format!(
+            "{g}x{g} grid, {l} multigrid levels, {t} timesteps (extension; not in the paper)",
+            g = self.input.grid,
+            l = self.input.levels,
+            t = self.input.timesteps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::Scale;
+    use dsm_sim::addr::HOME_SHIFT;
+
+    fn drain(w: &mut Ocean, proc: usize) -> Vec<Event> {
+        let mut all = Vec::new();
+        loop {
+            let mut buf = Vec::new();
+            w.fill(proc, &mut buf);
+            if buf.is_empty() {
+                break;
+            }
+            all.extend(buf);
+        }
+        all
+    }
+
+    #[test]
+    fn coarse_levels_halve_participants() {
+        let o = Ocean::new(8, OceanInput::at(Scale::Test));
+        assert_eq!(o.procs_at_level(0), 8);
+        assert_eq!(o.procs_at_level(1), 4);
+        assert_eq!(o.procs_at_level(2), 2);
+    }
+
+    #[test]
+    fn sweeps_decay_over_timesteps() {
+        let o = Ocean::new(2, OceanInput::at(Scale::Test));
+        let first = o.sweeps_at(0);
+        let last = o.sweeps_at(OceanInput::at(Scale::Test).timesteps - 1);
+        assert!(first > last, "solver converges: {first} -> {last}");
+        assert!(last >= 1);
+    }
+
+    #[test]
+    fn coarse_sweep_touches_different_homes_than_fine() {
+        let o = Ocean::new(8, OceanInput::at(Scale::Test));
+        let homes = |level: usize| {
+            let mut buf = Vec::new();
+            o.emit_half_sweep(&mut buf, 0, level);
+            buf.iter()
+                .filter_map(|e| match e {
+                    Event::Mem { addr, .. } => Some((*addr >> HOME_SHIFT) as usize),
+                    _ => None,
+                })
+                .collect::<std::collections::BTreeSet<usize>>()
+        };
+        let fine = homes(0);
+        let coarse = homes(2);
+        assert!(!fine.is_empty() && !coarse.is_empty());
+        assert_ne!(fine, coarse, "levels must shift the home set");
+    }
+
+    #[test]
+    fn nonparticipants_emit_nothing_at_coarse_levels() {
+        let o = Ocean::new(8, OceanInput::at(Scale::Test));
+        let mut buf = Vec::new();
+        o.emit_half_sweep(&mut buf, 3, 2); // only procs 0 and 4 participate
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn barrier_sequences_agree_and_locks_balance() {
+        let mut o = Ocean::new(4, OceanInput::at(Scale::Test));
+        let seq = |evs: &[Event]| {
+            evs.iter()
+                .filter_map(|e| match e {
+                    Event::Barrier { id } => Some(*id),
+                    _ => None,
+                })
+                .collect::<Vec<u32>>()
+        };
+        let e0 = drain(&mut o, 0);
+        for p in 1..4 {
+            let ep = drain(&mut o, p);
+            assert_eq!(seq(&ep), seq(&e0));
+            let acq = ep.iter().filter(|x| matches!(x, Event::Acquire { .. })).count();
+            let rel = ep.iter().filter(|x| matches!(x, Event::Release { .. })).count();
+            assert_eq!(acq, rel);
+        }
+    }
+
+    #[test]
+    fn work_decreases_across_run() {
+        let input = OceanInput::at(Scale::Test);
+        let mut o = Ocean::new(2, input);
+        // Compare non-sync instructions in the first vs last timestep.
+        let mut first = Vec::new();
+        o.fill(0, &mut first);
+        let mut last = Vec::new();
+        for _ in 1..input.timesteps {
+            last.clear();
+            o.fill(0, &mut last);
+        }
+        let insns = |evs: &[Event]| evs.iter().map(|e| e.nonsync_insns()).sum::<u64>();
+        assert!(insns(&first) > insns(&last));
+    }
+}

@@ -1,0 +1,235 @@
+//! Synthetic phased workloads with ground-truth labels.
+//!
+//! Used to validate the detectors and the CoV machinery: each emitted
+//! *chunk* of work carries a known phase label, chunk size is chosen to
+//! match one sampling interval, and the phase sequence is a configurable
+//! square wave. Two axes can change between phases:
+//!
+//! * the **code signature** (which basic blocks execute) — visible to BBV;
+//! * the **data signature** (which homes are accessed) — visible only to
+//!   the DDV.
+
+use dsm_sim::event::{ChunkGen, Event};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::app::Workload;
+use crate::emit;
+use crate::mem::{NodeAlloc, Region};
+
+/// What one synthetic phase looks like.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// Basic blocks executed (weights spread equally).
+    pub bbs: Vec<u32>,
+    /// Non-memory instructions per chunk.
+    pub insns: u32,
+    /// Home nodes targeted by this phase's memory traffic.
+    pub homes: Vec<usize>,
+    /// Cache lines touched per home per chunk.
+    pub lines_per_home: u64,
+    /// Whether the touches are writes (shared writes keep coherence
+    /// traffic alive in steady state; reads of unwritten data eventually
+    /// cache and go quiet).
+    pub write: bool,
+    /// Extra compute jitter in instructions (deterministic, seeded).
+    pub jitter: u32,
+}
+
+/// A square-wave phased workload: cycles through its phases, spending
+/// `period` chunks in each, for `total_chunks` chunks per processor.
+pub struct SquareWave {
+    p: usize,
+    phases: Vec<PhaseSpec>,
+    period: usize,
+    total_chunks: usize,
+    regions: Vec<Vec<Region>>, // [proc][home] scratch region homed per node
+    emitted: Vec<usize>,
+    rng_seed: u64,
+}
+
+impl SquareWave {
+    pub fn new(
+        p: usize,
+        phases: Vec<PhaseSpec>,
+        period: usize,
+        total_chunks: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!phases.is_empty() && period > 0);
+        let mut alloc = NodeAlloc::new(p);
+        let regions = (0..p)
+            .map(|_| (0..p).map(|h| alloc.alloc(h, 256 * 32)).collect())
+            .collect();
+        Self { p, phases, period, total_chunks, regions, emitted: vec![0; p], rng_seed: seed }
+    }
+
+    /// Ground-truth phase label of chunk `i`.
+    pub fn truth(&self, chunk: usize) -> u32 {
+        ((chunk / self.period) % self.phases.len()) as u32
+    }
+
+    /// Two phases with different *code*, same data (BBV-detectable).
+    pub fn code_phases(p: usize, period: usize, total: usize) -> Self {
+        let phases = vec![
+            PhaseSpec { bbs: vec![0x100, 0x101, 0x102], insns: 3000, homes: vec![0], lines_per_home: 16, jitter: 50, write: false },
+            PhaseSpec { bbs: vec![0x200, 0x201], insns: 3000, homes: vec![0], lines_per_home: 16, jitter: 50, write: false },
+        ];
+        Self::new(p, phases, period, total, 42)
+    }
+
+    /// Two phases with identical code but different *data homes*
+    /// (only DDV-detectable). Phase 0 is local, phase 1 hammers node 0.
+    pub fn data_phases(p: usize, period: usize, total: usize) -> Self {
+        assert!(p >= 2);
+        let phases = vec![
+            PhaseSpec { bbs: vec![0x300, 0x301], insns: 3000, homes: vec![usize::MAX], lines_per_home: 32, jitter: 50, write: false },
+            PhaseSpec { bbs: vec![0x300, 0x301], insns: 3000, homes: vec![0], lines_per_home: 32, jitter: 50, write: true },
+        ];
+        Self::new(p, phases, period, total, 43)
+    }
+
+    fn emit_chunk(&self, buf: &mut Vec<Event>, proc: usize, chunk: usize) {
+        let spec = &self.phases[self.truth(chunk) as usize];
+        let mut rng = StdRng::seed_from_u64(
+            self.rng_seed ^ ((proc as u64) << 32) ^ chunk as u64,
+        );
+        let share = (spec.insns / spec.bbs.len() as u32).max(1);
+        for &bb in &spec.bbs {
+            let jit = if spec.jitter > 0 { rng.gen_range(0..spec.jitter) } else { 0 };
+            emit::loop_burst(buf, bb, share + jit);
+        }
+        for &h in &spec.homes {
+            // usize::MAX means "this processor's own node"; shared homes
+            // use processor 0's region so every processor touches the same
+            // lines (a true hot spot).
+            let (owner, home) = if h == usize::MAX { (proc, proc) } else { (0, h) };
+            let region = &self.regions[owner][home];
+            let start = if spec.jitter == 0 {
+                0
+            } else {
+                rng.gen_range(0..region.lines() - spec.lines_per_home)
+            };
+            for i in start..start + spec.lines_per_home {
+                buf.push(dsm_sim::event::Event::Mem { addr: region.line(i), write: spec.write });
+            }
+        }
+    }
+}
+
+impl ChunkGen for SquareWave {
+    fn n_procs(&self) -> usize {
+        self.p
+    }
+
+    fn fill(&mut self, proc: usize, buf: &mut Vec<Event>) {
+        let chunk = self.emitted[proc];
+        if chunk >= self.total_chunks {
+            return;
+        }
+        self.emit_chunk(buf, proc, chunk);
+        self.emitted[proc] += 1;
+    }
+}
+
+impl Workload for SquareWave {
+    fn name(&self) -> &'static str {
+        "SquareWave"
+    }
+    fn input_desc(&self) -> String {
+        format!(
+            "{} phases, period {}, {} chunks",
+            self.phases.len(),
+            self.period,
+            self.total_chunks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_sim::addr::HOME_SHIFT;
+
+    #[test]
+    fn truth_follows_square_wave() {
+        let w = SquareWave::code_phases(2, 5, 40);
+        assert_eq!(w.truth(0), 0);
+        assert_eq!(w.truth(4), 0);
+        assert_eq!(w.truth(5), 1);
+        assert_eq!(w.truth(9), 1);
+        assert_eq!(w.truth(10), 0);
+    }
+
+    #[test]
+    fn code_phases_emit_disjoint_bbs() {
+        let mut w = SquareWave::code_phases(1, 1, 2);
+        let mut c0 = Vec::new();
+        w.fill(0, &mut c0);
+        let mut c1 = Vec::new();
+        w.fill(0, &mut c1);
+        let bbs = |evs: &[Event]| {
+            evs.iter()
+                .filter_map(|e| match e {
+                    Event::Block { bb, .. } => Some(*bb),
+                    _ => None,
+                })
+                .collect::<std::collections::HashSet<u32>>()
+        };
+        assert!(bbs(&c0).is_disjoint(&bbs(&c1)));
+    }
+
+    #[test]
+    fn data_phases_emit_same_bbs_different_homes() {
+        let mut w = SquareWave::data_phases(4, 1, 2);
+        let mut c0 = Vec::new();
+        w.fill(1, &mut c0);
+        let mut c1 = Vec::new();
+        w.fill(1, &mut c1);
+        let bbs = |evs: &[Event]| {
+            evs.iter()
+                .filter_map(|e| match e {
+                    Event::Block { bb, .. } => Some(*bb),
+                    _ => None,
+                })
+                .collect::<std::collections::HashSet<u32>>()
+        };
+        let homes = |evs: &[Event]| {
+            evs.iter()
+                .filter_map(|e| match e {
+                    Event::Mem { addr, .. } => Some((*addr >> HOME_SHIFT) as usize),
+                    _ => None,
+                })
+                .collect::<std::collections::HashSet<usize>>()
+        };
+        assert_eq!(bbs(&c0), bbs(&c1), "identical code");
+        assert_eq!(homes(&c0), [1].into_iter().collect(), "phase 0 is local");
+        assert_eq!(homes(&c1), [0].into_iter().collect(), "phase 1 hits node 0");
+    }
+
+    #[test]
+    fn stream_length_matches_total_chunks() {
+        let mut w = SquareWave::code_phases(2, 3, 7);
+        let mut chunks = 0;
+        loop {
+            let mut buf = Vec::new();
+            w.fill(0, &mut buf);
+            if buf.is_empty() {
+                break;
+            }
+            chunks += 1;
+        }
+        assert_eq!(chunks, 7);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = SquareWave::code_phases(2, 3, 7);
+        let mut b = SquareWave::code_phases(2, 3, 7);
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        a.fill(0, &mut ba);
+        b.fill(0, &mut bb);
+        assert_eq!(ba, bb);
+    }
+}

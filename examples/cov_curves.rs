@@ -1,0 +1,48 @@
+//! Generate CoV curves (the paper's evaluation tool) for any application
+//! and system size, as an ASCII chart plus a CSV on stdout.
+//!
+//! Run with: `cargo run --release --example cov_curves -- [app] [procs]`
+//! e.g. `cargo run --release --example cov_curves -- fmm 32`
+
+use dsm_phase_detection::analysis::plot::AsciiChart;
+use dsm_phase_detection::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app: App = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(App::Fmm);
+    let n_procs: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(32);
+
+    let trace = capture(ExperimentConfig::scaled(app, n_procs));
+    println!(
+        "captured {} ({} intervals across {n_procs} procs)",
+        trace.config.label(),
+        trace.total_intervals()
+    );
+
+    let bbv = bbv_curve(&trace);
+    let ddv = bbv_ddv_curve(&trace);
+
+    let mut chart = AsciiChart::new(
+        format!("{} CoV Curves ({}P)", app.name(), n_procs),
+        64,
+        16,
+    )
+    .log_y()
+    .labels("# of Phases", "Identifier CoV of CPI");
+    let env = |c: &CovCurve| {
+        c.lower_envelope(25)
+            .into_iter()
+            .map(|(k, v)| (k as f64, v.max(1e-4)))
+            .collect::<Vec<_>>()
+    };
+    chart.series("BBV", 'o', env(&bbv));
+    chart.series("BBV+DDV", '+', env(&ddv));
+    println!("{}", chart.render());
+
+    println!("detector,phases,cov");
+    for (name, curve) in [("BBV", &bbv), ("BBV+DDV", &ddv)] {
+        for (k, cov) in curve.lower_envelope(25) {
+            println!("{name},{k},{cov:.6}");
+        }
+    }
+}

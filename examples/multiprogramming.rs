@@ -1,0 +1,71 @@
+//! Multiprogramming (paper §III-B): carry phase-detector state across
+//! context switches, or clear it and pay more tuning.
+//!
+//! Two "threads" (different synthetic programs) time-share one processor's
+//! detector. With save/restore, each thread resumes into its own footprint
+//! table and keeps its phase identities; with clearing, every switch
+//! re-learns phases from scratch (more new-phase events = more tuning).
+//!
+//! Run with: `cargo run --release --example multiprogramming`
+
+use dsm_phase_detection::phase::context::DetectorContext;
+use dsm_phase_detection::prelude::*;
+use dsm_phase_detection::sim::observer::{IntervalStats, SimObserver};
+
+/// Drive one interval of a synthetic "program" through a detector.
+fn run_interval(det: &mut OnlineDetector, codes: &[u32], idx: u64) {
+    for &c in codes {
+        for _ in 0..8 {
+            det.on_block_commit(0, c, 40);
+        }
+    }
+    det.on_interval(0, IntervalStats { index: idx, insns: 2000, cycles: 3000 });
+}
+
+fn main() {
+    let thread_a: Vec<u32> = vec![0x11, 0x12, 0x13];
+    let thread_b: Vec<u32> = vec![0x91, 0x92];
+
+    for restore in [true, false] {
+        let mut det = OnlineDetector::new(
+            1,
+            vec![1.0],
+            DetectorMode::Bbv,
+            Thresholds::bbv_only(0.3),
+            DetectorGeometry::default(),
+        );
+        let mut ctx_a: Option<DetectorContext> = None;
+        let mut ctx_b: Option<DetectorContext> = None;
+        let mut idx = 0u64;
+
+        // 8 scheduling quanta of 6 intervals each, alternating threads.
+        for quantum in 0..8 {
+            let (codes, ctx_in, ctx_out): (&[u32], _, _) = if quantum % 2 == 0 {
+                (&thread_a, &mut ctx_a, 'A')
+            } else {
+                (&thread_b, &mut ctx_b, 'B')
+            };
+            let _ = ctx_out;
+            if let Some(ctx) = ctx_in.as_ref() {
+                if restore {
+                    ctx.restore(&mut det, 0);
+                } else {
+                    ctx.cleared().restore(&mut det, 0);
+                }
+            }
+            for _ in 0..6 {
+                run_interval(&mut det, codes, idx);
+                idx += 1;
+            }
+            *ctx_in = Some(DetectorContext::save(&mut det, 0));
+        }
+
+        let new_phases = det.classified[0].iter().filter(|c| c.is_new_phase).count();
+        let total = det.classified[0].len();
+        println!(
+            "{} state across switches: {total} intervals, {new_phases} new-phase events (each costs a re-tune)",
+            if restore { "SAVE/RESTORE" } else { "CLEAR       " }
+        );
+    }
+    println!("\nWith save/restore each thread learns its phases once; clearing re-learns on every switch.");
+}

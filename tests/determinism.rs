@@ -1,0 +1,38 @@
+//! Bit-reproducibility: every simulation, capture, and sweep must produce
+//! identical results on repeated runs (DESIGN.md §8).
+
+use dsm_phase_detection::harness::sweep::{bbv_curve_with, bbv_ddv_curve_with};
+use dsm_phase_detection::prelude::*;
+
+#[test]
+fn captures_are_identical_across_runs() {
+    for app in App::ALL {
+        let a = capture(ExperimentConfig::test(app, 4));
+        let b = capture(ExperimentConfig::test(app, 4));
+        assert_eq!(a.stats, b.stats, "{} stats must be identical", app.name());
+        assert_eq!(a.records, b.records, "{} records must be identical", app.name());
+    }
+}
+
+#[test]
+fn sweeps_are_identical_across_runs() {
+    let t = capture(ExperimentConfig::test(App::Fmm, 4));
+    let a = bbv_curve_with(&t, 30);
+    let b = bbv_curve_with(&t, 30);
+    assert_eq!(a, b);
+    let a = bbv_ddv_curve_with(&t, 8, 4);
+    let b = bbv_ddv_curve_with(&t, 8, 4);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_sizes_produce_different_but_valid_traces() {
+    let t2 = capture(ExperimentConfig::test(App::Lu, 2));
+    let t8 = capture(ExperimentConfig::test(App::Lu, 8));
+    assert_eq!(t2.records.len(), 2);
+    assert_eq!(t8.records.len(), 8);
+    // Total work is the same algorithm; instruction totals are close.
+    let i2 = t2.stats.total_insns() as f64;
+    let i8 = t8.stats.total_insns() as f64;
+    assert!((i2 / i8 - 1.0).abs() < 0.05, "same input, same total work: {i2} vs {i8}");
+}

@@ -1,0 +1,41 @@
+//! The Ocean extension workload (not in the paper): red-black multigrid
+//! relaxation whose V-cycle re-homes the working set at every level. The
+//! stencil code is identical across levels, so this is the strongest
+//! BBV-blind / DDV-visible structure in the suite — these tests pin that
+//! down.
+
+use dsm_phase_detection::harness::experiment::ExperimentConfig;
+use dsm_phase_detection::harness::sweep::{bbv_curve_with, bbv_ddv_curve_with};
+use dsm_phase_detection::harness::trace::capture;
+use dsm_phase_detection::prelude::*;
+
+#[test]
+fn ocean_runs_end_to_end() {
+    let trace = capture(ExperimentConfig::test(App::Ocean, 8));
+    assert!(trace.total_intervals() > 20);
+    assert!(trace.stats.total_insns() > 100_000);
+    // Coarse multigrid levels serialize onto few procs: someone waits.
+    let waited: u64 = trace.stats.procs.iter().map(|p| p.sync_wait_cycles).sum();
+    assert!(waited > 0);
+}
+
+#[test]
+fn ocean_ddv_dominates_bbv_strongly() {
+    let trace = capture(ExperimentConfig::test(App::Ocean, 8));
+    let bbv = bbv_curve_with(&trace, 48);
+    let ddv = bbv_ddv_curve_with(&trace, 12, 8);
+    let b = bbv.cov_at_phases(15.0).unwrap();
+    let d = ddv.cov_at_phases(15.0).unwrap();
+    assert!(
+        d < b * 0.7,
+        "multigrid level structure must be DDV-visible: BBV {b:.3} vs DDV {d:.3}"
+    );
+}
+
+#[test]
+fn ocean_parses_and_names() {
+    assert_eq!("ocean".parse::<App>().unwrap(), App::Ocean);
+    assert_eq!(App::Ocean.name(), "Ocean");
+    assert!(App::EXTENDED.contains(&App::Ocean));
+    assert!(!App::ALL.contains(&App::Ocean), "figures stay paper-faithful");
+}

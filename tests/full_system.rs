@@ -1,0 +1,89 @@
+//! End-to-end sanity sweep: every application at several node counts runs
+//! to completion with coherent statistics.
+
+use dsm_phase_detection::prelude::*;
+
+#[test]
+fn every_app_runs_at_every_size() {
+    for app in App::ALL {
+        for procs in [1usize, 2, 4, 8] {
+            let trace = capture(ExperimentConfig::test(app, procs));
+            let stats = &trace.stats;
+
+            assert!(stats.total_insns() > 10_000, "{} {procs}p: too little work", app.name());
+            assert!(stats.finish_cycle > 0);
+            // At most commit_width instructions per cycle system-wide per proc.
+            assert!(
+                stats.system_ipc() <= 6.0 * procs as f64,
+                "{} {procs}p: impossible IPC {}",
+                app.name(),
+                stats.system_ipc()
+            );
+
+            for (i, p) in stats.procs.iter().enumerate() {
+                assert!(p.insns > 0, "{} {procs}p proc {i} did no work", app.name());
+                assert!(p.cycles >= p.insns / 6, "cycles below commit-width bound");
+                assert!(p.mem_refs > 0);
+                assert!(p.l1_misses <= p.mem_refs);
+                assert!(p.l2_misses <= p.l1_misses);
+                assert_eq!(p.local_home_misses + p.remote_home_misses, p.l2_misses);
+                let rf = p.remote_miss_fraction();
+                assert!((0.0..=1.0).contains(&rf));
+                if procs == 1 {
+                    assert_eq!(p.remote_home_misses, 0, "uniprocessor has no remote homes");
+                }
+            }
+
+            // Directory bookkeeping is consistent with traffic.
+            let d = stats.directory;
+            assert!(d.reads + d.writes > 0);
+            assert!(d.owner_forwards <= d.reads + d.writes);
+
+            // Memory-controller requests at least cover the L2 misses that
+            // went to memory.
+            let reqs: u64 = stats.memctrls.iter().map(|m| m.requests).sum();
+            assert!(reqs > 0);
+        }
+    }
+}
+
+#[test]
+fn sync_waits_only_in_parallel_runs() {
+    let t1 = capture(ExperimentConfig::test(App::Equake, 1));
+    // A single processor never waits at locks and barriers release
+    // immediately (only the fixed sync cost applies).
+    for p in &t1.stats.procs {
+        assert_eq!(p.sync_wait_cycles, 0, "uniprocessor must not wait");
+    }
+    let t4 = capture(ExperimentConfig::test(App::Equake, 4));
+    let waited: u64 = t4.stats.procs.iter().map(|p| p.sync_wait_cycles).sum();
+    assert!(waited > 0, "parallel runs exhibit real barrier/lock waits");
+}
+
+#[test]
+fn remote_traffic_grows_with_node_count() {
+    for app in [App::Lu, App::Fmm, App::Art] {
+        let frac = |procs: usize| {
+            let t = capture(ExperimentConfig::test(app, procs));
+            let remote: u64 = t.stats.procs.iter().map(|p| p.remote_home_misses).sum();
+            let total: u64 = t.stats.procs.iter().map(|p| p.l2_misses).sum();
+            remote as f64 / total.max(1) as f64
+        };
+        let f2 = frac(2);
+        let f8 = frac(8);
+        assert!(
+            f8 > f2,
+            "{}: remote miss share must grow with nodes ({f2:.3} -> {f8:.3})",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn network_traffic_is_consistent() {
+    let t = capture(ExperimentConfig::test(App::Lu, 8));
+    let net = t.stats.network;
+    assert!(net.msgs > 0);
+    assert!(net.payload_msgs <= net.msgs);
+    assert!(net.total_hops >= net.msgs / 2, "messages traverse real distances");
+}

@@ -1,0 +1,119 @@
+//! Shape assertions for the paper's headline results (DESIGN.md §4):
+//!
+//! 1. Figure 2: at a fixed phase budget, baseline BBV CoV *increases with
+//!    node count* (2P well below 32P).
+//! 2. Figure 4: BBV+DDV's curve lies on or below the BBV's at 32P, and the
+//!    two meet when everything is one phase.
+//! 3. §IV: at matched CoV, BBV+DDV needs materially fewer phases.
+//!
+//! Absolute values are not asserted — the substrate is a from-scratch
+//! simulator — only the qualitative relations the paper reports.
+
+use dsm_phase_detection::harness::experiment::ExperimentConfig;
+use dsm_phase_detection::harness::sweep::{bbv_curve_with, bbv_ddv_curve_with};
+use dsm_phase_detection::harness::trace::capture_cached;
+use dsm_phase_detection::prelude::*;
+
+fn bbv_cov_at(app: App, procs: usize, budget: f64) -> f64 {
+    let trace = capture_cached(ExperimentConfig::scaled(app, procs));
+    bbv_curve_with(&trace, 48)
+        .cov_at_phases(budget)
+        .unwrap_or(f64::INFINITY)
+}
+
+#[test]
+fn premise_bbv_works_on_a_uniprocessor() {
+    // The paper's starting point: "the BBV mechanism has been shown to
+    // successfully characterize the behavior of sequential applications".
+    // On one node there is no data-distribution signal to miss, so the BBV
+    // alone must reach a small CoV with a modest phase budget — far below
+    // its own 32P results.
+    for app in [App::Lu, App::Art, App::Equake, App::Fmm] {
+        let c1 = bbv_cov_at(app, 1, 10.0);
+        let c32 = bbv_cov_at(app, 32, 10.0);
+        assert!(
+            c1 < 0.5 * c32,
+            "{}: uniprocessor BBV ({c1:.3}) must be far better than 32P ({c32:.3})",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn figure2_shape_bbv_degrades_with_node_count() {
+    // The paper's core negative result, per application.
+    for app in [App::Lu, App::Art, App::Equake, App::Fmm] {
+        let c2 = bbv_cov_at(app, 2, 10.0);
+        let c32 = bbv_cov_at(app, 32, 10.0);
+        assert!(
+            c32 > 1.5 * c2,
+            "{}: BBV CoV must degrade markedly from 2P ({c2:.3}) to 32P ({c32:.3})",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn figure4_shape_ddv_dominates_bbv_at_32p() {
+    for app in [App::Lu, App::Art, App::Equake] {
+        let trace = capture_cached(ExperimentConfig::scaled(app, 32));
+        let bbv = bbv_curve_with(&trace, 48);
+        let ddv = bbv_ddv_curve_with(&trace, 16, 8);
+        let b = bbv.cov_at_phases(20.0).unwrap();
+        let d = ddv.cov_at_phases(20.0).unwrap();
+        assert!(
+            d < b * 1.02,
+            "{}: BBV+DDV ({d:.3}) must not lose to BBV ({b:.3}) at 32P",
+            app.name()
+        );
+    }
+    // And for at least LU and Art the improvement is large (factor ~1.5+).
+    for app in [App::Lu, App::Art] {
+        let trace = capture_cached(ExperimentConfig::scaled(app, 32));
+        let b = bbv_curve_with(&trace, 48).cov_at_phases(20.0).unwrap();
+        let d = bbv_ddv_curve_with(&trace, 16, 8).cov_at_phases(20.0).unwrap();
+        assert!(
+            b / d > 1.4,
+            "{}: expected a large DDV gain at 32P, got BBV {b:.3} vs DDV {d:.3}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn figure4_shape_curves_meet_at_one_phase() {
+    // "When distance thresholds are high enough that the entire program
+    // falls into a single phase, both detectors naturally achieve the same
+    // CoV result."
+    let trace = capture_cached(ExperimentConfig::scaled(App::Equake, 8));
+    let bbv = bbv_curve_with(&trace, 48);
+    let ddv = bbv_ddv_curve_with(&trace, 16, 8);
+    let one = |c: &CovCurve| {
+        c.points
+            .iter()
+            .filter(|p| p.phases <= 1.01)
+            .map(|p| p.cov)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let (b, d) = (one(&bbv), one(&ddv));
+    assert!(b.is_finite() && d.is_finite(), "both sweeps reach one phase");
+    assert!((b - d).abs() < 1e-9, "single-phase CoV must agree: {b} vs {d}");
+}
+
+#[test]
+fn headline_ddv_cuts_phases_at_matched_cov() {
+    // §IV structure on the paper's own example app: "at a CoV value of
+    // 29%, the addition of the DDV reduces the number of phases from 25 to
+    // 11" (FMM, 32P). We assert a >=1.4x reduction at the BBV's achievable
+    // 25-phase CoV.
+    let trace = capture_cached(ExperimentConfig::scaled(App::Fmm, 32));
+    let bbv = bbv_curve_with(&trace, 96);
+    let ddv = bbv_ddv_curve_with(&trace, 20, 10);
+    let target = bbv.cov_at_phases(25.0).unwrap();
+    let bbv_phases = bbv.phases_at_cov(target).unwrap();
+    let ddv_phases = ddv.phases_at_cov(target).unwrap_or(f64::INFINITY);
+    assert!(
+        ddv_phases * 1.4 <= bbv_phases,
+        "DDV must reach CoV {target:.3} with far fewer phases: {ddv_phases} vs {bbv_phases}"
+    );
+}

@@ -1,0 +1,148 @@
+//! Ground-truth validation on synthetic workloads: phases that differ in
+//! *code* are detectable by the BBV alone; phases that differ only in
+//! *data distribution* are invisible to the BBV and require the DDV —
+//! the paper's central claim, checked against known labels.
+
+use dsm_phase_detection::prelude::*;
+use dsm_phase_detection::sim::event::ChunkedStream;
+use dsm_phase_detection::sim::network::Network;
+use dsm_phase_detection::workloads::synth::{PhaseSpec, SquareWave};
+
+const PERIOD: usize = 6;
+const CHUNKS: usize = 48;
+
+/// Jitter-free variants of the library's canned workloads, so chunks and
+/// sampling intervals align exactly (each chunk = 3 000 block instructions
+/// + 32 memory accesses = 3 032 non-sync instructions).
+fn code_phases_exact(p: usize) -> SquareWave {
+    let phases = vec![
+        PhaseSpec { bbs: vec![0x100, 0x101], insns: 3000, homes: vec![0], lines_per_home: 16, jitter: 0, write: false },
+        PhaseSpec { bbs: vec![0x200, 0x201], insns: 3000, homes: vec![0], lines_per_home: 16, jitter: 0, write: false },
+    ];
+    SquareWave::new(p, phases, PERIOD, CHUNKS, 42)
+}
+
+fn data_phases_exact(p: usize) -> SquareWave {
+    let phases = vec![
+        PhaseSpec { bbs: vec![0x300, 0x301], insns: 3000, homes: vec![usize::MAX], lines_per_home: 32, jitter: 0, write: false },
+        PhaseSpec { bbs: vec![0x300, 0x301], insns: 3000, homes: vec![0], lines_per_home: 32, jitter: 0, write: true },
+    ];
+    SquareWave::new(p, phases, PERIOD, CHUNKS, 43)
+}
+
+/// Run a square-wave workload and return (ground truth per interval,
+/// classified ids per interval, per-interval CPI) for processor `proc`.
+fn run(
+    wave: SquareWave,
+    n_procs: usize,
+    chunk_insns: u64,
+    mode: DetectorMode,
+    thr: Thresholds,
+    proc: usize,
+) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+    // The interval length matches one chunk exactly so intervals align
+    // with the ground-truth labels.
+    let mut cfg = SystemConfig::scaled(n_procs, chunk_insns * n_procs as u64);
+    cfg.interval_insns = chunk_insns;
+
+    let truth: Vec<u32> = (0..CHUNKS).map(|c| wave.truth(c)).collect();
+    let net = Network::new(cfg.network, n_procs);
+    let det = OnlineDetector::new(
+        n_procs,
+        net.distance_matrix(),
+        mode,
+        thr,
+        DetectorGeometry::default(),
+    );
+    let stream = ChunkedStream::new(wave);
+    let (_, det) = System::new(cfg, stream, det).run();
+
+    let ids: Vec<u32> = det.classified[proc].iter().map(|c| c.phase_id).collect();
+    let cpis: Vec<f64> = det.classified[proc].iter().map(|c| c.cpi).collect();
+    let n = ids.len().min(truth.len());
+    (truth[..n].to_vec(), ids[..n].to_vec(), cpis[..n].to_vec())
+}
+
+/// Agreement after optimally mapping detected ids to truth labels
+/// (majority vote per detected id).
+fn agreement(truth: &[u32], ids: &[u32]) -> f64 {
+    use std::collections::HashMap;
+    let mut votes: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+    for (&t, &d) in truth.iter().zip(ids) {
+        *votes.entry(d).or_default().entry(t).or_default() += 1;
+    }
+    let mapping: HashMap<u32, u32> = votes
+        .into_iter()
+        .map(|(d, m)| (d, m.into_iter().max_by_key(|(_, c)| *c).unwrap().0))
+        .collect();
+    let correct = truth
+        .iter()
+        .zip(ids)
+        .filter(|(t, d)| mapping[d] == **t)
+        .count();
+    correct as f64 / truth.len() as f64
+}
+
+#[test]
+fn bbv_detects_code_phases() {
+    let wave = code_phases_exact(2);
+    let (truth, ids, _) = run(wave, 2, 3016, DetectorMode::Bbv, Thresholds::bbv_only(0.5), 0);
+    let acc = agreement(&truth, &ids);
+    assert!(acc > 0.95, "BBV must recover code phases, agreement {acc}");
+}
+
+#[test]
+fn bbv_is_blind_to_data_phases() {
+    let wave = data_phases_exact(4);
+    let (_, ids, cpis) = run(wave, 4, 3032, DetectorMode::Bbv, Thresholds::bbv_only(0.5), 1);
+    // Identical code: the BBV should fold (almost) everything into very
+    // few phases even though the CPI clearly alternates.
+    let distinct: std::collections::HashSet<u32> = ids.iter().copied().collect();
+    assert!(distinct.len() <= 2, "BBV sees no difference: {distinct:?}");
+    let pairs: Vec<(u32, f64)> = ids.iter().copied().zip(cpis.iter().copied()).collect();
+    let cov = dsm_phase_detection::analysis::cov::identifier_cov(&pairs);
+    assert!(cov > 0.05, "folded phases must be CPI-heterogeneous, CoV {cov}");
+}
+
+#[test]
+fn ddv_detects_data_phases_that_bbv_misses() {
+    let thr = Thresholds { bbv: 0.5, dds: 0.2 };
+    let (truth, ddv_ids, ddv_cpis) =
+        run(data_phases_exact(4), 4, 3032, DetectorMode::BbvDdv, thr, 1);
+    let (_, bbv_ids, bbv_cpis) =
+        run(data_phases_exact(4), 4, 3032, DetectorMode::Bbv, Thresholds::bbv_only(0.5), 1);
+
+    let acc = agreement(&truth, &ddv_ids);
+    assert!(acc > 0.9, "BBV+DDV must recover data phases, agreement {acc}");
+
+    let cov = |ids: &[u32], cpis: &[f64]| {
+        let pairs: Vec<(u32, f64)> = ids.iter().copied().zip(cpis.iter().copied()).collect();
+        dsm_phase_detection::analysis::cov::identifier_cov(&pairs)
+    };
+    let bbv_cov = cov(&bbv_ids, &bbv_cpis);
+    let ddv_cov = cov(&ddv_ids, &ddv_cpis);
+    // Contention during the shared-hot-spot phase makes CPI noisy *within*
+    // the true phases, so the floor is the CoV of a perfect (ground-truth)
+    // classification, not zero.
+    let truth_cov = cov(&truth, &ddv_cpis);
+    assert!(
+        ddv_cov < bbv_cov * 0.8,
+        "DDV must clearly beat BBV on data phases: {ddv_cov} vs {bbv_cov}"
+    );
+    assert!(
+        ddv_cov <= truth_cov * 1.15,
+        "DDV must approach the ground-truth floor: {ddv_cov} vs {truth_cov}"
+    );
+    assert!(
+        truth_cov < bbv_cov * 0.8,
+        "sanity: the data phases really are CPI-distinct ({truth_cov} vs {bbv_cov})"
+    );
+}
+
+#[test]
+fn truth_labels_are_a_square_wave() {
+    let wave = SquareWave::code_phases(2, PERIOD, CHUNKS);
+    for c in 0..CHUNKS {
+        assert_eq!(wave.truth(c), ((c / PERIOD) % 2) as u32);
+    }
+}
