@@ -31,7 +31,10 @@ pub struct TuningPolicy {
 
 impl Default for TuningPolicy {
     fn default() -> Self {
-        Self { n_configs: 4, trials_per_config: 1 }
+        Self {
+            n_configs: 4,
+            trials_per_config: 1,
+        }
     }
 }
 
@@ -105,7 +108,13 @@ impl TuningOutcome {
 #[derive(Debug, Clone)]
 enum PhaseState {
     /// Trying configs; accumulated (config, trials, total normalized cost).
-    Tuning { config: usize, trials_left: usize, best: (usize, f64), acc: f64, acc_n: usize },
+    Tuning {
+        config: usize,
+        trials_left: usize,
+        best: (usize, f64),
+        acc: f64,
+        acc_n: usize,
+    },
     Locked(usize),
 }
 
@@ -141,7 +150,13 @@ pub fn run_tuning(stream: &[(u32, f64, u64)], policy: TuningPolicy) -> TuningOut
             acc_n: 0,
         });
         match state {
-            PhaseState::Tuning { config, trials_left, best, acc, acc_n } => {
+            PhaseState::Tuning {
+                config,
+                trials_left,
+                best,
+                acc,
+                acc_n,
+            } => {
                 out.tuning_intervals += 1;
                 let m = config_multiplier(behaviour, *config);
                 out.tuned_cycles += base * m;
@@ -221,7 +236,13 @@ pub fn run_tuning_predicted(
             acc_n: 0,
         });
         match state {
-            PhaseState::Tuning { config, trials_left, best, acc, acc_n } => {
+            PhaseState::Tuning {
+                config,
+                trials_left,
+                best,
+                acc,
+                acc_n,
+            } => {
                 out.tuning_intervals += 1;
                 let run_config = applied_config.unwrap_or(*config);
                 let m = config_multiplier(behaviour, run_config);
@@ -300,7 +321,11 @@ mod tests {
             .collect();
         let split: Vec<(u32, f64, u64)> = (0..400)
             .map(|i| {
-                if i % 2 == 0 { (0u32, 0.5, 1000u64) } else { (1u32, 4.0, 1000u64) }
+                if i % 2 == 0 {
+                    (0u32, 0.5, 1000u64)
+                } else {
+                    (1u32, 4.0, 1000u64)
+                }
             })
             .collect();
         let pol = TuningPolicy::default();
@@ -340,9 +365,11 @@ mod tests {
         let reactive = run_tuning(&stream, pol);
         let mut pred = LastPhasePredictor::new();
         let predicted = run_tuning_predicted(&stream, pol, &mut pred);
-        let rel = (predicted.tuned_cycles - reactive.tuned_cycles).abs()
-            / reactive.tuned_cycles;
-        assert!(rel < 0.02, "constant stream: pipelines must agree, rel {rel}");
+        let rel = (predicted.tuned_cycles - reactive.tuned_cycles).abs() / reactive.tuned_cycles;
+        assert!(
+            rel < 0.02,
+            "constant stream: pipelines must agree, rel {rel}"
+        );
     }
 
     #[test]

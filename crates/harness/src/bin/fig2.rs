@@ -1,10 +1,12 @@
 //! Regenerate the paper's Figure 2 (baseline BBV CoV curves at 2/8/32
 //! processors for LU, FMM, Art, Equake).
 //!
-//! Usage: `fig2 [--scale test|scaled|paper]` (default: scaled).
+//! Usage: `fig2 [--scale test|scaled|paper] [--jobs N] [--cold] [--no-cache]`
+//! (default: scaled; jobs defaults to the hardware parallelism; traces are
+//! cached under `.dsm-trace-cache/` unless `--no-cache`).
 
-use dsm_harness::figures::{figure2, headline_lu};
-use dsm_harness::report;
+use dsm_harness::figures::{figure2_with_report, headline_lu};
+use dsm_harness::{parallel, report};
 use dsm_workloads::Scale;
 
 fn parse_scale() -> Scale {
@@ -22,8 +24,10 @@ fn parse_scale() -> Scale {
 
 fn main() {
     let scale = parse_scale();
+    let jobs = parallel::init_from_args();
+    eprintln!("fig2: running with {jobs} worker(s)");
     let t0 = std::time::Instant::now();
-    let fig = figure2(scale);
+    let (fig, run_report) = figure2_with_report(scale);
     let ascii = fig.render_ascii();
     println!("{ascii}");
 
@@ -32,13 +36,16 @@ fn main() {
     for (p, cov) in &lu.cov_at_7_phases {
         headline.push_str(&format!(
             "  {p:>2}P: CoV at 7 phases = {}\n",
-            cov.map(|c| format!("{:.1} %", c * 100.0)).unwrap_or_else(|| "n/a".into())
+            cov.map(|c| format!("{:.1} %", c * 100.0))
+                .unwrap_or_else(|| "n/a".into())
         ));
     }
     for (p, phases) in &lu.phases_for_20pct {
         headline.push_str(&format!(
             "  {p:>2}P: phases for 20 % CoV = {}\n",
-            phases.map(|x| format!("{x:.0}")).unwrap_or_else(|| ">25 / n/a".into())
+            phases
+                .map(|x| format!("{x:.0}"))
+                .unwrap_or_else(|| ">25 / n/a".into())
         ));
     }
     println!("{headline}");
@@ -48,5 +55,12 @@ fn main() {
     report::announce(
         &report::write_text("fig2.txt", &format!("{ascii}\n{headline}")).expect("write txt"),
     );
+    report::announce(
+        &report::write_text("fig2.json", &fig.to_json().to_string()).expect("write json"),
+    );
+    report::announce(
+        &report::write_text("fig2-run.json", &run_report.to_json()).expect("write run report"),
+    );
+    eprintln!("{}", run_report.summary());
     eprintln!("fig2 done in {:?}", t0.elapsed());
 }

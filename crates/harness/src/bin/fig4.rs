@@ -1,10 +1,12 @@
 //! Regenerate the paper's Figure 4 (BBV vs BBV+DDV CoV curves at 8 and 32
 //! processors for LU, FMM, Art, Equake) and the §IV FMM headline.
 //!
-//! Usage: `fig4 [--scale test|scaled|paper]` (default: scaled).
+//! Usage: `fig4 [--scale test|scaled|paper] [--jobs N] [--cold] [--no-cache]`
+//! (default: scaled; jobs defaults to the hardware parallelism; traces are
+//! cached under `.dsm-trace-cache/` unless `--no-cache`).
 
-use dsm_harness::figures::{figure4, headline_fmm};
-use dsm_harness::report;
+use dsm_harness::figures::{figure4_with_report, headline_fmm};
+use dsm_harness::{parallel, report};
 use dsm_workloads::Scale;
 
 fn parse_scale() -> Scale {
@@ -22,8 +24,10 @@ fn parse_scale() -> Scale {
 
 fn main() {
     let scale = parse_scale();
+    let jobs = parallel::init_from_args();
+    eprintln!("fig4: running with {jobs} worker(s)");
     let t0 = std::time::Instant::now();
-    let fig = figure4(scale);
+    let (fig, run_report) = figure4_with_report(scale);
     let ascii = fig.render_ascii();
     println!("{ascii}");
 
@@ -48,11 +52,19 @@ fn main() {
     report::announce(
         &report::write_text("fig4.txt", &format!("{ascii}\n{headline}")).expect("write txt"),
     );
+    report::announce(
+        &report::write_text("fig4.json", &fig.to_json().to_string()).expect("write json"),
+    );
+    report::announce(
+        &report::write_text("fig4-run.json", &run_report.to_json()).expect("write run report"),
+    );
+    eprintln!("{}", run_report.summary());
     eprintln!("fig4 done in {:?}", t0.elapsed());
 }
 
 fn fmt_pct(x: Option<f64>) -> String {
-    x.map(|v| format!("{:.1} %", v * 100.0)).unwrap_or_else(|| "n/a".into())
+    x.map(|v| format!("{:.1} %", v * 100.0))
+        .unwrap_or_else(|| "n/a".into())
 }
 
 fn fmt_f(x: Option<f64>) -> String {

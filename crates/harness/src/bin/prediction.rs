@@ -26,9 +26,8 @@ fn parse_scale() -> Scale {
 
 fn main() {
     let scale = parse_scale();
-    let mut out = String::from(
-        "Phase prediction accuracy (mean over processors; higher is better)\n\n",
-    );
+    let mut out =
+        String::from("Phase prediction accuracy (mean over processors; higher is better)\n\n");
     let mut rows: Vec<Vec<String>> = Vec::new();
     out.push_str(&format!(
         "{:<8} {:>4} {:>9} {:>12} {:>12}\n",
@@ -39,7 +38,14 @@ fn main() {
             let trace = capture_cached(config_at(app, procs, scale));
             for (name, mode, thr) in [
                 ("BBV", DetectorMode::Bbv, Thresholds::bbv_only(0.30)),
-                ("BBV+DDV", DetectorMode::BbvDdv, Thresholds { bbv: 0.30, dds: 0.25 }),
+                (
+                    "BBV+DDV",
+                    DetectorMode::BbvDdv,
+                    Thresholds {
+                        bbv: 0.30,
+                        dds: 0.25,
+                    },
+                ),
             ] {
                 let (mut last_sum, mut rle_sum) = (0.0, 0.0);
                 for records in &trace.records {

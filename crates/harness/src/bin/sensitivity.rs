@@ -2,13 +2,16 @@
 //! sampling-interval length, and data-placement policy, reported as
 //! identifier CoV at a 15-phase budget for both detectors.
 //!
-//! Usage: `sensitivity [--scale test|scaled|paper]` (default: scaled).
+//! Usage: `sensitivity [--scale test|scaled|paper] [--jobs N]` (default:
+//! scaled). Sensitivity variants perturb the machine configuration itself,
+//! so they always simulate (no trace cache); `--jobs` fans the variants and
+//! their threshold sweeps out over the worker pool.
 
-use dsm_harness::report;
 use dsm_harness::sensitivity::{
     bank_sweep, geometry_sweep, interval_sweep, network_model_sweep, placement_sweep,
     SensitivityPoint,
 };
+use dsm_harness::{parallel, report};
 use dsm_workloads::{App, Scale};
 
 fn parse_scale() -> Scale {
@@ -25,7 +28,8 @@ fn parse_scale() -> Scale {
 }
 
 fn fmt(x: Option<f64>) -> String {
-    x.map(|v| format!("{v:.3}")).unwrap_or_else(|| "  n/a".into())
+    x.map(|v| format!("{v:.3}"))
+        .unwrap_or_else(|| "  n/a".into())
 }
 
 fn render(title: &str, pts: &[SensitivityPoint], out: &mut String, rows: &mut Vec<Vec<String>>) {
@@ -59,6 +63,8 @@ fn render(title: &str, pts: &[SensitivityPoint], out: &mut String, rows: &mut Ve
 
 fn main() {
     let scale = parse_scale();
+    let jobs = parallel::jobs_from_args();
+    eprintln!("sensitivity: running with {jobs} worker(s)");
     let mut out = String::from("Sensitivity studies (32P unless noted)\n\n");
     let mut rows: Vec<Vec<String>> = Vec::new();
 
@@ -68,14 +74,29 @@ fn main() {
         scale,
         &[(8, 8), (16, 16), (32, 32), (64, 64), (32, 8), (8, 32)],
     );
-    render("Detector geometry (LU): accumulator entries x footprint vectors", &geo, &mut out, &mut rows);
+    render(
+        "Detector geometry (LU): accumulator entries x footprint vectors",
+        &geo,
+        &mut out,
+        &mut rows,
+    );
 
-    let iv = interval_sweep(App::Lu, 32, scale, &[32_000, 64_000, 128_000, 256_000, 512_000]);
+    let iv = interval_sweep(
+        App::Lu,
+        32,
+        scale,
+        &[32_000, 64_000, 128_000, 256_000, 512_000],
+    );
     render("Sampling-interval base (LU)", &iv, &mut out, &mut rows);
 
     for app in [App::Lu, App::Art] {
         let pl = placement_sweep(app, 32, scale);
-        render(&format!("Data placement ({})", app.name()), &pl, &mut out, &mut rows);
+        render(
+            &format!("Data placement ({})", app.name()),
+            &pl,
+            &mut out,
+            &mut rows,
+        );
     }
 
     let nm = network_model_sweep(App::Lu, 32, scale);
@@ -89,7 +110,15 @@ fn main() {
     report::announce(
         &report::write_csv(
             "sensitivity.csv",
-            &["study", "variant", "bbv_at_15", "ddv_at_15", "cpi", "rmiss", "ints_per_proc"],
+            &[
+                "study",
+                "variant",
+                "bbv_at_15",
+                "ddv_at_15",
+                "cpi",
+                "rmiss",
+                "ints_per_proc",
+            ],
             &rows,
         )
         .expect("write"),

@@ -19,17 +19,32 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Default harness configuration at the reduced (`Scaled`) inputs.
     pub fn scaled(app: App, n_procs: usize) -> Self {
-        Self { app, n_procs, scale: Scale::Scaled, interval_base: 128_000 }
+        Self {
+            app,
+            n_procs,
+            scale: Scale::Scaled,
+            interval_base: 128_000,
+        }
     }
 
     /// Paper-scale configuration (Table I/II parameters).
     pub fn paper(app: App, n_procs: usize) -> Self {
-        Self { app, n_procs, scale: Scale::Paper, interval_base: 3_000_000 }
+        Self {
+            app,
+            n_procs,
+            scale: Scale::Paper,
+            interval_base: 3_000_000,
+        }
     }
 
     /// Tiny configuration for tests.
     pub fn test(app: App, n_procs: usize) -> Self {
-        Self { app, n_procs, scale: Scale::Test, interval_base: 16_000 }
+        Self {
+            app,
+            n_procs,
+            scale: Scale::Test,
+            interval_base: 16_000,
+        }
     }
 
     /// The simulated machine for this experiment.
@@ -38,15 +53,19 @@ impl ExperimentConfig {
             Scale::Paper => SystemConfig::with_interval_base(self.n_procs, self.interval_base),
             // Reduced inputs keep the paper's working-set-to-cache ratio by
             // shrinking the L2 (DESIGN.md §7).
-            Scale::Scaled | Scale::Test => {
-                SystemConfig::scaled(self.n_procs, self.interval_base)
-            }
+            Scale::Scaled | Scale::Test => SystemConfig::scaled(self.n_procs, self.interval_base),
         }
     }
 
     /// Stable label for caches, filenames, and report headers.
     pub fn label(&self) -> String {
-        format!("{}-{}p-{:?}-{}", self.app.name(), self.n_procs, self.scale, self.interval_base)
+        format!(
+            "{}-{}p-{:?}-{}",
+            self.app.name(),
+            self.n_procs,
+            self.scale,
+            self.interval_base
+        )
     }
 }
 

@@ -8,8 +8,10 @@ use dsm_workloads::{App, Scale};
 use serde::{Deserialize, Serialize};
 
 use crate::experiment::ExperimentConfig;
+use crate::json::Json;
+use crate::parallel::{capture_matrix, RunReport};
 use crate::sweep::{bbv_curve, bbv_ddv_curve};
-use crate::trace::{capture_all_cached, capture_cached};
+use crate::trace::capture_cached;
 
 /// Maximum phase count plotted (the paper's x-axes run to 25).
 pub const MAX_PHASES: usize = 25;
@@ -80,17 +82,61 @@ impl Figure {
         }
         (headers, rows)
     }
+
+    /// Deterministic JSON of every panel's full curves (every sweep point,
+    /// not just the envelope). Golden-regression fixtures and the
+    /// serial-vs-parallel determinism test diff these bytes.
+    pub fn to_json(&self) -> Json {
+        let panels: Vec<Json> = self
+            .panels
+            .iter()
+            .map(|panel| {
+                let curves: Vec<Json> = panel
+                    .curves
+                    .iter()
+                    .map(|(label, curve)| {
+                        let points: Vec<Json> = curve
+                            .points
+                            .iter()
+                            .map(|p| {
+                                Json::obj()
+                                    .field("phases", p.phases)
+                                    .field("cov", p.cov)
+                                    .field("bbv_threshold", p.bbv_threshold)
+                                    .field("dds_threshold", p.dds_threshold)
+                            })
+                            .collect();
+                        Json::obj()
+                            .field("label", label.as_str())
+                            .field("points", Json::Arr(points))
+                    })
+                    .collect();
+                Json::obj()
+                    .field("app", panel.app.name())
+                    .field("n_procs", panel.n_procs)
+                    .field("curves", Json::Arr(curves))
+            })
+            .collect();
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("panels", Json::Arr(panels))
+    }
 }
 
 /// Figure 2: baseline BBV CoV curves for every application at 2, 8, and 32
 /// processors (one panel per application, one curve per system size).
 pub fn figure2(scale: Scale) -> Figure {
+    figure2_with_report(scale).0
+}
+
+/// [`figure2`] plus the engine's [`RunReport`] (cache traffic, wall time).
+pub fn figure2_with_report(scale: Scale) -> (Figure, RunReport) {
     let sizes = [2usize, 8, 32];
     let configs: Vec<ExperimentConfig> = App::ALL
         .iter()
         .flat_map(|&app| sizes.iter().map(move |&p| config_at(app, p, scale)))
         .collect();
-    capture_all_cached(&configs);
+    let (_, report) = capture_matrix("fig2", &configs);
 
     let panels = App::ALL
         .iter()
@@ -106,18 +152,29 @@ pub fn figure2(scale: Scale) -> Figure {
                 .collect(),
         })
         .collect();
-    Figure { name: "Figure 2: Baseline BBV results".into(), panels }
+    (
+        Figure {
+            name: "Figure 2: Baseline BBV results".into(),
+            panels,
+        },
+        report,
+    )
 }
 
 /// Figure 4: BBV vs BBV+DDV curves for every application at 8 and 32
 /// processors (one panel per application × size).
 pub fn figure4(scale: Scale) -> Figure {
+    figure4_with_report(scale).0
+}
+
+/// [`figure4`] plus the engine's [`RunReport`] (cache traffic, wall time).
+pub fn figure4_with_report(scale: Scale) -> (Figure, RunReport) {
     let sizes = [8usize, 32];
     let configs: Vec<ExperimentConfig> = App::ALL
         .iter()
         .flat_map(|&app| sizes.iter().map(move |&p| config_at(app, p, scale)))
         .collect();
-    capture_all_cached(&configs);
+    let (_, report) = capture_matrix("fig4", &configs);
 
     let mut panels = Vec::new();
     for &p in &sizes {
@@ -133,7 +190,13 @@ pub fn figure4(scale: Scale) -> Figure {
             });
         }
     }
-    Figure { name: "Figure 4: BBV+DDV results".into(), panels }
+    (
+        Figure {
+            name: "Figure 4: BBV+DDV results".into(),
+            panels,
+        },
+        report,
+    )
 }
 
 /// Experiment configuration for (app, size) at a scale.
@@ -163,7 +226,10 @@ pub fn headline_lu(scale: Scale) -> LuHeadline {
         cov7.push((p, c.cov_at_phases(7.0)));
         p20.push((p, c.phases_at_cov(0.20)));
     }
-    LuHeadline { cov_at_7_phases: cov7, phases_for_20pct: p20 }
+    LuHeadline {
+        cov_at_7_phases: cov7,
+        phases_for_20pct: p20,
+    }
 }
 
 /// The paper's §IV FMM headline: at 32P, CoV of both detectors at a fixed

@@ -15,12 +15,19 @@
 //!   <0.15 % of memory-controller bandwidth);
 //! * [`adaptive`] — the §II trial-and-error reconfiguration loop, to turn
 //!   CoV/phase-count numbers into end-to-end tuning cost;
+//! * [`parallel`] — the parallel experiment engine: a `--jobs` worker pool,
+//!   a content-addressed on-disk trace store, and structured run reports,
+//!   all with byte-identical serial/parallel output;
+//! * [`json`] — the deterministic JSON value type the engine's artefacts
+//!   are written with;
 //! * [`report`] — results-directory output helpers.
 
 pub mod adaptive;
 pub mod experiment;
 pub mod figures;
+pub mod json;
 pub mod overhead;
+pub mod parallel;
 pub mod report;
 pub mod sensitivity;
 pub mod sweep;
@@ -28,5 +35,6 @@ pub mod tables;
 pub mod trace;
 
 pub use experiment::ExperimentConfig;
+pub use parallel::{capture_matrix, par_map, RunReport, TraceStore};
 pub use sweep::{bbv_curve, bbv_ddv_curve};
 pub use trace::{capture, SystemTrace};

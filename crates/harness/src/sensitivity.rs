@@ -16,6 +16,7 @@ use dsm_workloads::{App, Scale};
 use serde::{Deserialize, Serialize};
 
 use crate::experiment::ExperimentConfig;
+use crate::parallel::par_map;
 use crate::sweep::{bbv_curve_with, bbv_ddv_curve_with};
 use crate::trace::capture_with;
 
@@ -60,91 +61,95 @@ pub fn geometry_sweep(
     sizes: &[(usize, usize)],
 ) -> Vec<SensitivityPoint> {
     let config = crate::figures::config_at(app, n_procs, scale);
-    sizes
-        .iter()
-        .map(|&(bbv_entries, footprint_vectors)| {
-            let geometry = DetectorGeometry { bbv_entries, footprint_vectors, ws_bits: 1024 };
-            let trace = capture_with(config, config.system_config(), geometry);
-            // Classify against the geometry's own footprint capacity.
-            let bbv = crate::sweep::bbv_curve_cap(&trace, 60, footprint_vectors);
-            let ddv = crate::sweep::bbv_ddv_curve_cap(&trace, 12, 8, footprint_vectors);
-            SensitivityPoint {
-                label: format!("{bbv_entries}-entry BBV, {footprint_vectors}-vector table"),
-                bbv_at_15: bbv.cov_at_phases(15.0),
-                ddv_at_15: ddv.cov_at_phases(15.0),
-                mean_cpi: trace.stats.mean_cpi(),
-                remote_miss_fraction: 0.0,
-                intervals_per_proc: trace.min_intervals(),
-            }
-        })
-        .collect()
+    par_map(sizes.to_vec(), |(bbv_entries, footprint_vectors)| {
+        let geometry = DetectorGeometry {
+            bbv_entries,
+            footprint_vectors,
+            ws_bits: 1024,
+        };
+        let trace = capture_with(config, config.system_config(), geometry);
+        // Classify against the geometry's own footprint capacity.
+        let bbv = crate::sweep::bbv_curve_cap(&trace, 60, footprint_vectors);
+        let ddv = crate::sweep::bbv_ddv_curve_cap(&trace, 12, 8, footprint_vectors);
+        SensitivityPoint {
+            label: format!("{bbv_entries}-entry BBV, {footprint_vectors}-vector table"),
+            bbv_at_15: bbv.cov_at_phases(15.0),
+            ddv_at_15: ddv.cov_at_phases(15.0),
+            mean_cpi: trace.stats.mean_cpi(),
+            remote_miss_fraction: 0.0,
+            intervals_per_proc: trace.min_intervals(),
+        }
+    })
 }
 
 /// Sweep the system-wide interval base (per-processor interval =
 /// `base / n`).
-pub fn interval_sweep(app: App, n_procs: usize, scale: Scale, bases: &[u64]) -> Vec<SensitivityPoint> {
-    bases
-        .iter()
-        .map(|&base| {
-            let config = ExperimentConfig {
-                interval_base: base,
-                ..crate::figures::config_at(app, n_procs, scale)
-            };
-            let trace = capture_with(config, config.system_config(), DetectorGeometry::default());
-            observe(format!("{}k-instruction base", base / 1000), &trace)
-        })
-        .collect()
+pub fn interval_sweep(
+    app: App,
+    n_procs: usize,
+    scale: Scale,
+    bases: &[u64],
+) -> Vec<SensitivityPoint> {
+    par_map(bases.to_vec(), |base| {
+        let config = ExperimentConfig {
+            interval_base: base,
+            ..crate::figures::config_at(app, n_procs, scale)
+        };
+        let trace = capture_with(config, config.system_config(), DetectorGeometry::default());
+        observe(format!("{}k-instruction base", base / 1000), &trace)
+    })
 }
 
 /// Compare data-placement policies: owner-aware explicit placement (the
 /// workloads' native layout, like SPLASH-2's decompositions) against naive
 /// round-robin interleaving.
 pub fn placement_sweep(app: App, n_procs: usize, scale: Scale) -> Vec<SensitivityPoint> {
-    [
+    let variants = vec![
         (DistributionPolicy::Explicit, "explicit (owner-aware)"),
         (DistributionPolicy::PageInterleave, "page-interleaved"),
         (DistributionPolicy::BlockInterleave, "block-interleaved"),
-    ]
-    .iter()
-    .map(|&(policy, label)| {
+    ];
+    par_map(variants, |(policy, label)| {
         let config = crate::figures::config_at(app, n_procs, scale);
         let mut sys_cfg = config.system_config();
         sys_cfg.distribution = policy;
         let trace = capture_with(config, sys_cfg, DetectorGeometry::default());
         observe(label.to_string(), &trace)
     })
-    .collect()
 }
 
 /// Sweep the number of SDRAM banks per memory controller (Table I says
 /// "interleaved"; the calibrated default is a single queue, the worst case
 /// for hot homes).
-pub fn bank_sweep(app: App, n_procs: usize, scale: Scale, banks: &[usize]) -> Vec<SensitivityPoint> {
-    banks
-        .iter()
-        .map(|&b| {
-            let config = crate::figures::config_at(app, n_procs, scale);
-            let mut sys_cfg = config.system_config();
-            sys_cfg.memory.banks = b;
-            let trace = capture_with(config, sys_cfg, DetectorGeometry::default());
-            observe(format!("{b} bank(s)"), &trace)
-        })
-        .collect()
+pub fn bank_sweep(
+    app: App,
+    n_procs: usize,
+    scale: Scale,
+    banks: &[usize],
+) -> Vec<SensitivityPoint> {
+    par_map(banks.to_vec(), |b| {
+        let config = crate::figures::config_at(app, n_procs, scale);
+        let mut sys_cfg = config.system_config();
+        sys_cfg.memory.banks = b;
+        let trace = capture_with(config, sys_cfg, DetectorGeometry::default());
+        observe(format!("{b} bank(s)"), &trace)
+    })
 }
 
 /// Compare the default (memory-controller-only) contention model against
 /// the link-level wormhole contention model.
 pub fn network_model_sweep(app: App, n_procs: usize, scale: Scale) -> Vec<SensitivityPoint> {
-    [(false, "memctrl contention only"), (true, "+ link-level wormhole contention")]
-        .iter()
-        .map(|&(link, label)| {
-            let config = crate::figures::config_at(app, n_procs, scale);
-            let mut sys_cfg = config.system_config();
-            sys_cfg.network.link_contention = link;
-            let trace = capture_with(config, sys_cfg, DetectorGeometry::default());
-            observe(label.to_string(), &trace)
-        })
-        .collect()
+    let variants = vec![
+        (false, "memctrl contention only"),
+        (true, "+ link-level wormhole contention"),
+    ];
+    par_map(variants, |(link, label)| {
+        let config = crate::figures::config_at(app, n_procs, scale);
+        let mut sys_cfg = config.system_config();
+        sys_cfg.network.link_contention = link;
+        let trace = capture_with(config, sys_cfg, DetectorGeometry::default());
+        observe(label.to_string(), &trace)
+    })
 }
 
 #[cfg(test)]

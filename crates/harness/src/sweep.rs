@@ -6,6 +6,10 @@
 //! For BBV+DDV the sweep is a 2-D grid over (BBV, DDS) thresholds and the
 //! reported curve is the set of all grid points (its lower envelope is
 //! taken at plot time).
+//!
+//! Every threshold point is classified independently, so each sweep fans
+//! its inner loop out over [`crate::parallel::par_map`]; results come back
+//! in threshold order, keeping curves byte-identical to a serial run.
 
 use dsm_analysis::cov::{identifier_cov, phase_count};
 use dsm_analysis::curve::{CovCurve, CurvePoint};
@@ -15,6 +19,7 @@ use dsm_phase::detector::{DetectorMode, IntervalRecord, Thresholds, TraceClassif
 use dsm_phase::working_set::{WorkingSetDetector, WsSignature};
 use dsm_phase::DEFAULT_FOOTPRINT_VECTORS;
 
+use crate::parallel::par_map;
 use crate::trace::SystemTrace;
 
 /// Number of BBV thresholds in the 1-D baseline sweep (paper: 200).
@@ -74,24 +79,21 @@ pub fn bbv_curve_with(trace: &SystemTrace, n_points: usize) -> CovCurve {
 
 /// Baseline BBV sweep with explicit point count and footprint capacity.
 pub fn bbv_curve_cap(trace: &SystemTrace, n_points: usize, capacity: usize) -> CovCurve {
-    let points = log_spaced(n_points, 1e-3, 2.0)
-        .into_iter()
-        .map(|thr| {
-            point_for(
-                trace,
-                |recs| {
-                    TraceClassifier::classify_proc(
-                        recs,
-                        DetectorMode::Bbv,
-                        Thresholds::bbv_only(thr),
-                        capacity,
-                    )
-                },
-                thr,
-                None,
-            )
-        })
-        .collect();
+    let points = par_map(log_spaced(n_points, 1e-3, 2.0), |thr| {
+        point_for(
+            trace,
+            |recs| {
+                TraceClassifier::classify_proc(
+                    recs,
+                    DetectorMode::Bbv,
+                    Thresholds::bbv_only(thr),
+                    capacity,
+                )
+            },
+            thr,
+            None,
+        )
+    });
     CovCurve::new(points)
 }
 
@@ -112,21 +114,28 @@ pub fn bbv_ddv_curve_cap(
     n_dds: usize,
     capacity: usize,
 ) -> CovCurve {
-    let mut points = Vec::with_capacity(n_bbv * n_dds);
-    for bbv_thr in log_spaced(n_bbv, 1e-3, 2.0) {
-        for dds_thr in log_spaced(n_dds, 5e-3, 1.0) {
-            let t = Thresholds { bbv: bbv_thr, dds: dds_thr };
-            points.push(point_for(
-                trace,
-                |recs| {
-                    TraceClassifier::classify_proc(recs, DetectorMode::BbvDdv, t, capacity)
-                },
-                bbv_thr,
-                Some(dds_thr),
-            ));
-        }
-    }
+    let points = par_map(threshold_grid(n_bbv, n_dds), |(bbv_thr, dds_thr)| {
+        let t = Thresholds {
+            bbv: bbv_thr,
+            dds: dds_thr,
+        };
+        point_for(
+            trace,
+            |recs| TraceClassifier::classify_proc(recs, DetectorMode::BbvDdv, t, capacity),
+            bbv_thr,
+            Some(dds_thr),
+        )
+    });
     CovCurve::new(points)
+}
+
+/// The BBV × DDS threshold grid, flattened in row-major (BBV-outer) order.
+fn threshold_grid(n_bbv: usize, n_dds: usize) -> Vec<(f64, f64)> {
+    let dds = log_spaced(n_dds, 5e-3, 1.0);
+    log_spaced(n_bbv, 1e-3, 2.0)
+        .into_iter()
+        .flat_map(|b| dds.iter().map(move |&d| (b, d)))
+        .collect()
 }
 
 /// Which DDS ablation to sweep.
@@ -159,43 +168,51 @@ pub fn ablated_dds(rec: &IntervalRecord, dist_row: &[f64], which: DdsAblation) -
 pub fn ablation_curve(trace: &SystemTrace, which: DdsAblation) -> CovCurve {
     let n = trace.config.n_procs;
     let ddv = DdvState::for_hypercube(n);
-    let mut points = Vec::new();
-    for bbv_thr in log_spaced(DDV_GRID_BBV, 1e-3, 2.0) {
-        for dds_thr in log_spaced(DDV_GRID_DDS, 5e-3, 1.0) {
-            let t = Thresholds { bbv: bbv_thr, dds: dds_thr };
-            let point = {
-                let mut covs = Vec::new();
-                let mut phase_counts = Vec::new();
-                for (proc, recs) in trace.records.iter().enumerate() {
-                    if recs.is_empty() {
-                        continue;
-                    }
-                    let dds: Vec<f64> = recs
-                        .iter()
-                        .map(|r| ablated_dds(r, ddv.dist_row(proc), which))
-                        .collect();
-                    let ids = TraceClassifier::classify_proc_with_dds(
-                        recs,
-                        &dds,
-                        t,
-                        DEFAULT_FOOTPRINT_VECTORS,
-                    );
-                    let pairs: Vec<(u32, f64)> =
-                        ids.iter().zip(recs).map(|(&id, r)| (id, r.cpi())).collect();
-                    covs.push(identifier_cov(&pairs));
-                    phase_counts.push(phase_count(&pairs) as f64);
-                }
-                let n = covs.len().max(1) as f64;
-                CurvePoint {
-                    phases: phase_counts.iter().sum::<f64>() / n,
-                    cov: covs.iter().sum::<f64>() / n,
-                    bbv_threshold: bbv_thr,
-                    dds_threshold: Some(dds_thr),
-                }
+    // Ablated DDS values depend only on the records, not on the
+    // thresholds — compute them once, outside the threshold fan-out.
+    let ablated: Vec<Vec<f64>> = trace
+        .records
+        .iter()
+        .enumerate()
+        .map(|(proc, recs)| {
+            recs.iter()
+                .map(|r| ablated_dds(r, ddv.dist_row(proc), which))
+                .collect()
+        })
+        .collect();
+    let points = par_map(
+        threshold_grid(DDV_GRID_BBV, DDV_GRID_DDS),
+        |(bbv_thr, dds_thr)| {
+            let t = Thresholds {
+                bbv: bbv_thr,
+                dds: dds_thr,
             };
-            points.push(point);
-        }
-    }
+            let mut covs = Vec::new();
+            let mut phase_counts = Vec::new();
+            for (recs, dds) in trace.records.iter().zip(&ablated) {
+                if recs.is_empty() {
+                    continue;
+                }
+                let ids = TraceClassifier::classify_proc_with_dds(
+                    recs,
+                    dds,
+                    t,
+                    DEFAULT_FOOTPRINT_VECTORS,
+                );
+                let pairs: Vec<(u32, f64)> =
+                    ids.iter().zip(recs).map(|(&id, r)| (id, r.cpi())).collect();
+                covs.push(identifier_cov(&pairs));
+                phase_counts.push(phase_count(&pairs) as f64);
+            }
+            let n = covs.len().max(1) as f64;
+            CurvePoint {
+                phases: phase_counts.iter().sum::<f64>() / n,
+                cov: covs.iter().sum::<f64>() / n,
+                bbv_threshold: bbv_thr,
+                dds_threshold: Some(dds_thr),
+            }
+        },
+    );
     CovCurve::new(points)
 }
 
@@ -205,9 +222,9 @@ pub fn ablation_curve(trace: &SystemTrace, which: DdsAblation) -> CovCurve {
 pub fn vector_ddv_curve(trace: &SystemTrace, data_weight: f64) -> CovCurve {
     let n = trace.config.n_procs;
     let ddv = DdvState::for_hypercube(n);
-    let points = log_spaced(BBV_SWEEP_POINTS, 1e-3, 2.0 * (1.0 + data_weight))
-        .into_iter()
-        .map(|thr| {
+    let points = par_map(
+        log_spaced(BBV_SWEEP_POINTS, 1e-3, 2.0 * (1.0 + data_weight)),
+        |thr| {
             let mut covs = Vec::new();
             let mut phase_counts = Vec::new();
             for (proc, recs) in trace.records.iter().enumerate() {
@@ -233,48 +250,42 @@ pub fn vector_ddv_curve(trace: &SystemTrace, data_weight: f64) -> CovCurve {
                 bbv_threshold: thr,
                 dds_threshold: None,
             }
-        })
-        .collect();
+        },
+    );
     CovCurve::new(points)
 }
 
 /// Working-set-signature baseline sweep (Dhodapkar & Smith, experiment A4).
 pub fn working_set_curve(trace: &SystemTrace) -> CovCurve {
-    let points = log_spaced(BBV_SWEEP_POINTS, 1e-3, 1.0)
-        .into_iter()
-        .map(|thr| {
-            point_for(
-                trace,
-                |recs| {
-                    let mut det = WorkingSetDetector::new(DEFAULT_FOOTPRINT_VECTORS);
-                    recs.iter()
-                        .map(|r| det.classify(&WsSignature::from_words(r.ws_sig.clone()), thr))
-                        .collect()
-                },
-                thr,
-                None,
-            )
-        })
-        .collect();
+    let points = par_map(log_spaced(BBV_SWEEP_POINTS, 1e-3, 1.0), |thr| {
+        point_for(
+            trace,
+            |recs| {
+                let mut det = WorkingSetDetector::new(DEFAULT_FOOTPRINT_VECTORS);
+                recs.iter()
+                    .map(|r| det.classify(&WsSignature::from_words(r.ws_sig.clone()), thr))
+                    .collect()
+            },
+            thr,
+            None,
+        )
+    });
     CovCurve::new(points)
 }
 
 /// Branch-count baseline sweep (Balasubramonian et al., experiment A4).
 pub fn branch_count_curve(trace: &SystemTrace) -> CovCurve {
-    let points = log_spaced(BBV_SWEEP_POINTS, 1e-4, 1.0)
-        .into_iter()
-        .map(|thr| {
-            point_for(
-                trace,
-                |recs| {
-                    let mut det = BranchCountDetector::new(DEFAULT_FOOTPRINT_VECTORS);
-                    recs.iter().map(|r| det.classify(r.branches, thr)).collect()
-                },
-                thr,
-                None,
-            )
-        })
-        .collect();
+    let points = par_map(log_spaced(BBV_SWEEP_POINTS, 1e-4, 1.0), |thr| {
+        point_for(
+            trace,
+            |recs| {
+                let mut det = BranchCountDetector::new(DEFAULT_FOOTPRINT_VECTORS);
+                recs.iter().map(|r| det.classify(r.branches, thr)).collect()
+            },
+            thr,
+            None,
+        )
+    });
     CovCurve::new(points)
 }
 
@@ -322,7 +333,10 @@ mod tests {
         };
         let (a, b) = (one(&bbv), one(&ddv));
         if let (Some(a), Some(b)) = (a, b) {
-            assert!((a - b).abs() < 1e-9, "single-phase CoV must agree: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "single-phase CoV must agree: {a} vs {b}"
+            );
         }
     }
 
@@ -342,9 +356,18 @@ mod tests {
             branches: 1,
         };
         let dist = [1.0, 3.0];
-        assert_eq!(ablated_dds(&rec, &dist, DdsAblation::Full), 2.0 * 10.0 + 3.0 * 3.0 * 20.0);
-        assert_eq!(ablated_dds(&rec, &dist, DdsAblation::NoContention), 2.0 + 9.0);
-        assert_eq!(ablated_dds(&rec, &dist, DdsAblation::NoDistance), 20.0 + 60.0);
+        assert_eq!(
+            ablated_dds(&rec, &dist, DdsAblation::Full),
+            2.0 * 10.0 + 3.0 * 3.0 * 20.0
+        );
+        assert_eq!(
+            ablated_dds(&rec, &dist, DdsAblation::NoContention),
+            2.0 + 9.0
+        );
+        assert_eq!(
+            ablated_dds(&rec, &dist, DdsAblation::NoDistance),
+            20.0 + 60.0
+        );
         assert_eq!(ablated_dds(&rec, &dist, DdsAblation::FrequencyOnly), 5.0);
     }
 

@@ -22,7 +22,10 @@ pub fn table1() -> Table {
         "Fetch/Issue/Commit".to_string(),
         format!("{w}/{w}/{w}", w = c.core.commit_width),
     ]);
-    t.row(vec!["Register File".to_string(), "128 Int, 128 FP".to_string()]);
+    t.row(vec![
+        "Register File".to_string(),
+        "128 Int, 128 FP".to_string(),
+    ]);
     t.row(vec![
         "Branch Predictor".to_string(),
         format!("{}-entry gshare", c.core.gshare_entries),
@@ -32,7 +35,11 @@ pub fn table1() -> Table {
         format!(
             "{}kB, {}, {} cycle",
             c.l1.size_bytes / 1024,
-            if c.l1.assoc == 1 { "direct-mapped".to_string() } else { format!("{}-way", c.l1.assoc) },
+            if c.l1.assoc == 1 {
+                "direct-mapped".to_string()
+            } else {
+                format!("{}-way", c.l1.assoc)
+            },
             c.l1.latency_cycles
         ),
     ]);
@@ -66,8 +73,12 @@ pub fn table1() -> Table {
 /// Table II: applications and input sets, at paper scale with the scaled
 /// defaults alongside.
 pub fn table2() -> Table {
-    let mut t = Table::new(vec!["Application", "Input Set (paper)", "Input Set (scaled default)"])
-        .with_title("TABLE II — APPLICATIONS USED IN THE EXPERIMENTS");
+    let mut t = Table::new(vec![
+        "Application",
+        "Input Set (paper)",
+        "Input Set (scaled default)",
+    ])
+    .with_title("TABLE II — APPLICATIONS USED IN THE EXPERIMENTS");
     for app in App::ALL {
         let (paper, scaled) = match app {
             App::Lu => (
@@ -99,7 +110,11 @@ pub fn table2() -> Table {
                 continue;
             }
         };
-        t.row(vec![app.name().to_string(), paper.describe(), scaled.describe()]);
+        t.row(vec![
+            app.name().to_string(),
+            paper.describe(),
+            scaled.describe(),
+        ]);
     }
     t
 }

@@ -5,12 +5,11 @@
 //! evaluation, so a single capture supports arbitrarily many threshold
 //! sweeps (see DESIGN.md §2, "online/offline equivalence"). Captures are
 //! cached in-memory keyed by configuration so figures and benches never
-//! re-simulate.
+//! re-simulate; the parallel engine ([`crate::parallel`]) layers a
+//! content-addressed on-disk store and a worker pool on top.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use dsm_phase::detector::{DetectorGeometry, IntervalRecord, TraceCollector};
 use dsm_sim::stats::SystemStats;
@@ -69,59 +68,48 @@ pub fn capture_with(
     }
 }
 
-/// Process-wide trace cache.
+/// Process-wide in-memory trace cache, keyed by configuration label.
 static CACHE: Mutex<Option<HashMap<String, Arc<SystemTrace>>>> = Mutex::new(None);
+
+pub(crate) fn memory_cache_get(label: &str) -> Option<Arc<SystemTrace>> {
+    CACHE
+        .lock()
+        .unwrap()
+        .as_ref()
+        .and_then(|m| m.get(label).cloned())
+}
+
+pub(crate) fn memory_cache_insert(label: String, trace: Arc<SystemTrace>) {
+    CACHE
+        .lock()
+        .unwrap()
+        .get_or_insert_with(HashMap::new)
+        .insert(label, trace);
+}
+
+/// Drop every in-memory cached trace. Tests use this to force the engine
+/// back to the disk store or to fresh simulation.
+pub fn clear_memory_cache() {
+    *CACHE.lock().unwrap() = None;
+}
 
 /// Capture with caching: the second request for the same configuration is
 /// free. Used by figures and benches.
 pub fn capture_cached(config: ExperimentConfig) -> Arc<SystemTrace> {
     let key = config.label();
-    if let Some(t) = CACHE.lock().as_ref().and_then(|m| m.get(&key).cloned()) {
+    if let Some(t) = memory_cache_get(&key) {
         return t;
     }
     let trace = Arc::new(capture(config));
-    CACHE
-        .lock()
-        .get_or_insert_with(HashMap::new)
-        .insert(key, trace.clone());
+    memory_cache_insert(key, trace.clone());
     trace
 }
 
-/// Capture many configurations in parallel (one OS thread each, bounded by
-/// available parallelism) and populate the cache.
+/// Capture many configurations in parallel and populate the cache. Thin
+/// wrapper over [`crate::parallel::capture_matrix`] for callers that do not
+/// need the run report.
 pub fn capture_all_cached(configs: &[ExperimentConfig]) {
-    let todo: Vec<ExperimentConfig> = {
-        let cache = CACHE.lock();
-        configs
-            .iter()
-            .filter(|c| {
-                cache
-                    .as_ref()
-                    .is_none_or(|m| !m.contains_key(&c.label()))
-            })
-            .copied()
-            .collect()
-    };
-    if todo.is_empty() {
-        return;
-    }
-    let max_par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    for chunk in todo.chunks(max_par.max(1)) {
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = chunk
-                .iter()
-                .map(|&cfg| s.spawn(move |_| Arc::new(capture(cfg))))
-                .collect();
-            for h in handles {
-                let trace = h.join().expect("capture thread panicked");
-                CACHE
-                    .lock()
-                    .get_or_insert_with(HashMap::new)
-                    .insert(trace.config.label(), trace);
-            }
-        })
-        .expect("crossbeam scope");
-    }
+    let _ = crate::parallel::capture_matrix("capture_all_cached", configs);
 }
 
 #[cfg(test)]

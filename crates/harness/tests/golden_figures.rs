@@ -1,0 +1,81 @@
+//! Golden regression tests: Figure 2 and Figure 4 at `Scale::Test`
+//! against committed JSON fixtures.
+//!
+//! The fixtures pin every sweep point of every curve. Regenerate after an
+//! intentional change to the simulator, detectors, or sweeps with:
+//!
+//! ```sh
+//! DSM_UPDATE_GOLDEN=1 cargo test -p dsm-harness --test golden_figures
+//! ```
+//!
+//! and commit the diff (review it — a fixture change IS a behaviour
+//! change).
+
+use dsm_harness::figures::{figure2, figure4, Figure};
+use dsm_harness::json::{parse, Json};
+use dsm_workloads::Scale;
+
+const TOLERANCE: f64 = 1e-9;
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_against_golden(fig: &Figure, fixture: &str) {
+    let path = fixture_path(fixture);
+    let actual = fig.to_json();
+    if std::env::var_os("DSM_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual.to_string()).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with DSM_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let expected = parse(&text).expect("fixture parses");
+    compare(&expected, &actual, fixture);
+}
+
+/// Structural comparison with a numeric tolerance: identical shapes and
+/// strings, numbers within `TOLERANCE`.
+fn compare(expected: &Json, actual: &Json, path: &str) {
+    match (expected, actual) {
+        (Json::Num(e), Json::Num(a)) => {
+            assert!(
+                (e - a).abs() <= TOLERANCE,
+                "{path}: {e} vs {a} (|diff| = {} > {TOLERANCE})",
+                (e - a).abs()
+            );
+        }
+        (Json::Arr(e), Json::Arr(a)) => {
+            assert_eq!(e.len(), a.len(), "{path}: array length changed");
+            for (i, (ev, av)) in e.iter().zip(a).enumerate() {
+                compare(ev, av, &format!("{path}[{i}]"));
+            }
+        }
+        (Json::Obj(e), Json::Obj(a)) => {
+            let keys = |o: &[(String, Json)]| o.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>();
+            assert_eq!(keys(e), keys(a), "{path}: object keys changed");
+            for ((k, ev), (_, av)) in e.iter().zip(a) {
+                compare(ev, av, &format!("{path}.{k}"));
+            }
+        }
+        (e, a) => assert_eq!(e, a, "{path}: value changed"),
+    }
+}
+
+#[test]
+fn figure2_matches_golden() {
+    check_against_golden(&figure2(Scale::Test), "fig2-test.json");
+}
+
+#[test]
+fn figure4_matches_golden() {
+    check_against_golden(&figure4(Scale::Test), "fig4-test.json");
+}

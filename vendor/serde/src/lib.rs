@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no crates.io access, and the
+//! tree uses serde only for `#[derive(Serialize, Deserialize)]` markers —
+//! no serializer backend is ever linked. This crate provides the two trait
+//! names plus no-op derive macros so the original sources compile
+//! unchanged. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name. The no-op derive does
+/// not implement it; nothing in the workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace uses serde derives purely as markers (no serde_json or
+//! other serializer backend exists in-tree; artefacts are written through
+//! `dsm-harness`'s own JSON/CSV writers), so the derives can expand to
+//! nothing. See `vendor/README.md` for why the real crate is not used.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
