@@ -1,0 +1,54 @@
+//! A counting global allocator for allocation-churn benches.
+//!
+//! Binaries that want heap-allocation counts register [`CountingAlloc`] as
+//! their `#[global_allocator]`; the counters are process-wide atomics so the
+//! measurement helpers in [`crate::simbench`] can read them without
+//! threading state through the benchmarked code. When no binary registers
+//! the allocator the counters simply stay at zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Pass-through allocator that counts every `alloc`/`realloc` call.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to the std `System` allocator; the atomic
+// counter updates have no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Heap allocations made so far by this process (0 unless a binary
+/// registered [`CountingAlloc`] as its global allocator).
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested so far (same caveat as [`allocations`]).
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Allocation count delta around a closure.
+pub fn allocs_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocations();
+    let out = f();
+    (out, allocations() - before)
+}

@@ -1,0 +1,227 @@
+//! `bench_sim` — records and checks the repo's simulator perf baseline.
+//!
+//! Modes:
+//!
+//! * (default) measure the current tree and rewrite `BENCH_SIM.json` at the
+//!   repo root, preserving the recorded `baseline` section (first run uses
+//!   the fresh measurement as the baseline too);
+//! * `--reset-baseline` — overwrite the `baseline` section as well;
+//! * `--check [path]` — parse the file and verify schema + full
+//!   `bench_matrix()` coverage, without measuring anything (CI);
+//! * `--compare [path]` — measure the current tree and print speedups
+//!   against the file's `current` section (branch-vs-baseline workflow).
+//!
+//! All output numbers go through the harness's deterministic JSON writer,
+//! so equal measurements always serialize to equal bytes.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dsm_bench::alloc_track::CountingAlloc;
+use dsm_bench::simbench::{measure, point_key};
+use dsm_bench::bench_matrix;
+use dsm_harness::json::{parse, Json};
+use dsm_workloads::App;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const SCHEMA: &str = "dsm-bench-sim/v1";
+const SAMPLES: usize = 7;
+
+fn default_path() -> PathBuf {
+    // crates/bench -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_SIM.json")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path_arg = |i: usize| -> PathBuf {
+        args.get(i).map(PathBuf::from).unwrap_or_else(default_path)
+    };
+    match args.first().map(String::as_str) {
+        Some("--check") => check(&path_arg(1)),
+        Some("--compare") => compare(&path_arg(1)),
+        Some("--reset-baseline") => update(&path_arg(1), true),
+        None => update(&default_path(), false),
+        Some(other) => {
+            eprintln!("unknown mode {other}; use --check | --compare | --reset-baseline");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_json(path: &Path) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match parse(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("warning: existing {} is unparsable ({e}); ignoring", path.display());
+            None
+        }
+    }
+}
+
+/// Per-key ratios current/baseline plus their geometric mean.
+fn speedups(baseline: &Json, current: &Json) -> Json {
+    let mut out = Json::obj();
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    if let (Some(Json::Obj(base)), Some(cur)) = (
+        baseline.get("events_per_sec"),
+        current.get("events_per_sec"),
+    ) {
+        for (key, bv) in base {
+            if let (Some(b), Some(c)) = (bv.as_f64(), cur.get(key).and_then(Json::as_f64)) {
+                if b > 0.0 && c > 0.0 {
+                    let r = c / b;
+                    out = out.field(key, (r * 1000.0).round() / 1000.0);
+                    log_sum += r.ln();
+                    count += 1;
+                }
+            }
+        }
+    }
+    let geomean = if count > 0 { (log_sum / count as f64).exp() } else { 1.0 };
+    out.field("geomean", (geomean * 1000.0).round() / 1000.0)
+}
+
+fn update(path: &Path, reset_baseline: bool) -> ExitCode {
+    eprintln!("measuring simulator throughput ({SAMPLES} samples per point)...");
+    let m = measure(SAMPLES);
+    let current = m.to_json("current");
+    let baseline = if reset_baseline {
+        None
+    } else {
+        read_json(path).and_then(|old| old.get("baseline").cloned())
+    };
+    let baseline = baseline.unwrap_or_else(|| {
+        eprintln!("no recorded baseline; using this measurement as the baseline");
+        m.to_json("baseline")
+    });
+    let doc = Json::obj()
+        .field("schema", SCHEMA)
+        .field("scale", "test")
+        .field(
+            "matrix",
+            Json::Arr(
+                bench_matrix()
+                    .into_iter()
+                    .map(|(a, n)| Json::Str(point_key(a, n)))
+                    .collect(),
+            ),
+        )
+        .field("speedup_events_per_sec", speedups(&baseline, &current))
+        .field("baseline", baseline)
+        .field("current", current);
+    if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    print_summary(&doc);
+    ExitCode::SUCCESS
+}
+
+fn print_summary(doc: &Json) {
+    if let Some(s) = doc.get("speedup_events_per_sec") {
+        println!("events/sec speedup vs baseline: {s}");
+    }
+    if let Some(a) = doc
+        .get("current")
+        .and_then(|c| c.get("allocs_per_interval"))
+        .and_then(Json::as_f64)
+    {
+        println!("steady-state allocs per classified interval: {a}");
+    }
+}
+
+fn compare(path: &Path) -> ExitCode {
+    let Some(doc) = read_json(path) else {
+        eprintln!("cannot read {}", path.display());
+        return ExitCode::FAILURE;
+    };
+    let Some(recorded) = doc.get("current") else {
+        eprintln!("{} has no `current` section", path.display());
+        return ExitCode::FAILURE;
+    };
+    eprintln!("measuring current tree for comparison...");
+    let m = measure(SAMPLES);
+    let now = m.to_json("working-tree");
+    println!(
+        "speedup (working tree / recorded current): {}",
+        speedups(recorded, &now)
+    );
+    println!(
+        "steady-state allocs per classified interval: {}",
+        m.allocs_per_interval
+    );
+    ExitCode::SUCCESS
+}
+
+/// Validate the checked-in file: schema tag, both sections, and full
+/// bench-matrix coverage in each `events_per_sec` map.
+fn check(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: {} does not parse: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut errors: Vec<String> = Vec::new();
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        errors.push(format!("schema tag must be {SCHEMA:?}"));
+    }
+    for section in ["baseline", "current"] {
+        let Some(sec) = doc.get(section) else {
+            errors.push(format!("missing `{section}` section"));
+            continue;
+        };
+        for (app, n) in bench_matrix() {
+            let key = point_key(app, n);
+            let eps = sec.get("events_per_sec").and_then(|m| m.get(&key));
+            match eps.and_then(Json::as_f64) {
+                Some(v) if v > 0.0 => {}
+                _ => errors.push(format!("`{section}.events_per_sec.{key}` missing or non-positive")),
+            }
+        }
+        for app in App::ALL {
+            let key = app.name().to_ascii_lowercase();
+            if sec
+                .get("pipeline_ms")
+                .and_then(|m| m.get(&key))
+                .and_then(Json::as_f64)
+                .is_none()
+            {
+                errors.push(format!("`{section}.pipeline_ms.{key}` missing"));
+            }
+        }
+        if sec.get("allocs_per_interval").and_then(Json::as_f64).is_none() {
+            errors.push(format!("`{section}.allocs_per_interval` missing"));
+        }
+    }
+    if doc.get("speedup_events_per_sec").is_none() {
+        errors.push("missing `speedup_events_per_sec`".into());
+    }
+    if errors.is_empty() {
+        println!(
+            "OK: {} covers the full bench matrix ({} points)",
+            path.display(),
+            bench_matrix().len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("FAIL: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}

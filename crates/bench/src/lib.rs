@@ -7,6 +7,9 @@
 //! per run; absolute-scale regeneration is the harness binaries' job
 //! (`cargo run --release -p dsm-harness --bin fig2`).
 
+pub mod alloc_track;
+pub mod simbench;
+
 use std::sync::Arc;
 
 use dsm_harness::experiment::ExperimentConfig;

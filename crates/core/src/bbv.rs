@@ -59,11 +59,32 @@ impl BbvAccumulator {
     /// Normalized vector (sums to 1; all-zero when nothing was recorded).
     /// Manhattan distances between normalized vectors lie in [0, 2].
     pub fn normalized(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.normalized_into(&mut out);
+        out
+    }
+
+    /// [`Self::normalized`] into a caller-owned buffer, so per-interval
+    /// classification can reuse one allocation for the life of the detector.
+    pub fn normalized_into(&self, out: &mut Vec<f64>) {
+        out.clear();
         if self.total == 0 {
-            return vec![0.0; self.buckets.len()];
+            out.resize(self.buckets.len(), 0.0);
+            return;
         }
         let t = self.total as f64;
-        self.buckets.iter().map(|&b| b as f64 / t).collect()
+        out.extend(self.buckets.iter().map(|&b| b as f64 / t));
+    }
+
+    /// Overwrite this accumulator with `other`, reusing the bucket buffer
+    /// when the widths match (context save/restore without reallocation).
+    pub fn copy_from(&mut self, other: &Self) {
+        if self.buckets.len() == other.buckets.len() {
+            self.buckets.copy_from_slice(&other.buckets);
+        } else {
+            self.buckets.clone_from(&other.buckets);
+        }
+        self.total = other.total;
     }
 
     /// Zero all counters (start of a new interval).
@@ -112,6 +133,18 @@ mod tests {
         let a = BbvAccumulator::new(8);
         assert!(a.is_empty());
         assert!(a.normalized().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn normalized_into_matches_allocating_form() {
+        let mut a = BbvAccumulator::new(8);
+        let mut out = vec![9.0; 3]; // wrong size and stale contents
+        a.normalized_into(&mut out);
+        assert_eq!(out, vec![0.0; 8]);
+        a.record(1, 3);
+        a.record(2, 7);
+        a.normalized_into(&mut out);
+        assert_eq!(out, a.normalized());
     }
 
     #[test]

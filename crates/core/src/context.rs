@@ -33,12 +33,22 @@ impl DetectorContext {
         }
     }
 
+    /// Re-capture processor `proc`'s state into this existing snapshot,
+    /// reusing its buffers: repeated save/restore cycles (one per context
+    /// switch) allocate nothing once sizes reach steady state.
+    pub fn save_into(&mut self, detector: &mut OnlineDetector, proc: usize) {
+        let (bbv, _, tables) = detector.parts_mut();
+        self.accumulator.copy_from(&bbv[proc]);
+        self.footprint.copy_from(&tables[proc]);
+    }
+
     /// Restore this snapshot into processor `proc` of a detector (the
-    /// incoming thread's state replaces the outgoing one's).
+    /// incoming thread's state replaces the outgoing one's). Buffers already
+    /// resident in the detector are reused rather than reallocated.
     pub fn restore(&self, detector: &mut OnlineDetector, proc: usize) {
         let (bbv, _, tables) = detector.parts_mut();
-        bbv[proc] = self.accumulator.clone();
-        tables[proc] = self.footprint.clone();
+        bbv[proc].copy_from(&self.accumulator);
+        tables[proc].copy_from(&self.footprint);
     }
 
     /// The "clear on switch" alternative: fresh state sized like `self`.
@@ -141,6 +151,27 @@ mod tests {
 
         let p_a2 = run_interval(&mut d, 7, 100);
         assert_ne!(p_a, p_a2, "evicted phase must be re-learned (more tuning)");
+    }
+
+    #[test]
+    fn save_into_reuses_snapshot_and_matches_save() {
+        let mut d = detector();
+        run_interval(&mut d, 7, 0);
+        // A stale snapshot from earlier...
+        let mut ctx = DetectorContext::save(&mut d, 0);
+        run_interval(&mut d, 900, 1);
+        run_interval(&mut d, 901, 2);
+        // ...re-captured in place must equal a freshly allocated capture.
+        ctx.save_into(&mut d, 0);
+        assert_eq!(ctx, DetectorContext::save(&mut d, 0));
+
+        // And restoring it round-trips the detector state exactly.
+        let before = DetectorContext::save(&mut d, 0);
+        for i in 0..40 {
+            run_interval(&mut d, 2000 + i, 3 + i as u64);
+        }
+        ctx.restore(&mut d, 0);
+        assert_eq!(before, DetectorContext::save(&mut d, 0));
     }
 
     #[test]

@@ -57,10 +57,23 @@ impl FrequencyMatrix {
     /// Answer requester `i`'s query: return `F_i` (accesses per home since
     /// `i`'s last query) and zero the row, per the paper's protocol.
     pub fn query(&mut self, i: usize) -> Vec<u64> {
+        let mut out = vec![0u64; self.n];
+        self.drain_row_into(i, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Self::query`]: *add* `F_i` into `acc`
+    /// (which must have length `n`) and zero the row. Adding rather than
+    /// overwriting lets the caller accumulate the contention vector `C`
+    /// across all nodes without a temporary per-node buffer.
+    #[inline]
+    pub fn drain_row_into(&mut self, i: usize, acc: &mut [u64]) {
+        debug_assert_eq!(acc.len(), self.n);
         let row = &mut self.snap[i * self.n..(i + 1) * self.n];
-        let delta: Vec<u64> = self.cum.iter().zip(row.iter()).map(|(c, s)| c - s).collect();
-        row.copy_from_slice(&self.cum);
-        delta
+        for ((a, &c), s) in acc.iter_mut().zip(self.cum.iter()).zip(row.iter_mut()) {
+            *a += c - *s;
+            *s = c;
+        }
     }
 
     /// Read `F_i` without zeroing (diagnostics only; hardware can't do this).
@@ -118,6 +131,14 @@ pub struct DdsSample {
     pub cvec: Vec<u64>,
     /// The data distribution scalar.
     pub dds: f64,
+}
+
+impl DdsSample {
+    /// An empty sample, suitable as a reusable scratch target for
+    /// [`DdvState::end_interval_into`].
+    pub fn empty() -> Self {
+        Self { fvec: Vec::new(), cvec: Vec::new(), dds: 0.0 }
+    }
 }
 
 /// System-wide DDV state: one frequency matrix per node plus the
@@ -180,21 +201,36 @@ impl DdvState {
     /// Processor `i` ends an interval: gather all `F_i` rows (zeroing them),
     /// build `C`, and compute the DDS.
     pub fn end_interval(&mut self, i: usize) -> DdsSample {
+        let mut sample = DdsSample::empty();
+        self.end_interval_into(i, &mut sample);
+        sample
+    }
+
+    /// [`Self::end_interval`] into a caller-owned sample, reusing its `fvec`
+    /// and `cvec` buffers. This is the per-interval hot path: the allocating
+    /// form costs `n + 2` heap allocations per query (one per node row plus
+    /// the two output vectors); this form costs none in steady state.
+    pub fn end_interval_into(&mut self, i: usize, sample: &mut DdsSample) {
         self.queries += 1;
         self.vectors_exchanged += (self.n - 1) as u64; // remote rows fetched
-        let mut cvec = vec![0u64; self.n];
-        let mut fvec = vec![0u64; self.n];
+        sample.fvec.clear();
+        sample.fvec.resize(self.n, 0);
+        sample.cvec.clear();
+        sample.cvec.resize(self.n, 0);
         for (q, mat) in self.mats.iter_mut().enumerate() {
-            let row = mat.query(i);
-            for (c, r) in cvec.iter_mut().zip(&row) {
-                *c += r;
-            }
+            // `F_i` goes straight into fvec; every other node's row is summed
+            // into cvec. `C = Σ_q row_q` is restored below by adding fvec —
+            // u64 sums commute, so this equals the reference per-row gather.
             if q == i {
-                fvec = row;
+                mat.drain_row_into(i, &mut sample.fvec);
+            } else {
+                mat.drain_row_into(i, &mut sample.cvec);
             }
         }
-        let dds = Self::dds_of(&fvec, &self.dist[i * self.n..(i + 1) * self.n], &cvec);
-        DdsSample { fvec, cvec, dds }
+        for (c, &f) in sample.cvec.iter_mut().zip(sample.fvec.iter()) {
+            *c += f;
+        }
+        sample.dds = Self::dds_of(&sample.fvec, &self.dist[i * self.n..(i + 1) * self.n], &sample.cvec);
     }
 
     /// The DDS formula over explicit vectors (exposed for ablations, which
@@ -330,6 +366,28 @@ mod tests {
             d.end_interval(0).dds
         };
         assert!(run(100) > run(0), "hot home must raise requester DDS");
+    }
+
+    #[test]
+    fn end_interval_into_reuses_buffers_and_matches_allocating_form() {
+        let mut a = DdvState::for_hypercube(4);
+        let mut b = DdvState::for_hypercube(4);
+        let mut sample = DdsSample::empty();
+        let mut x = 1u64;
+        for step in 0..400 {
+            x = dsm_sim::util::splitmix64(x);
+            let p = (x % 4) as usize;
+            let home = ((x >> 8) % 4) as usize;
+            a.record_access(p, home);
+            b.record_access(p, home);
+            if step % 17 == 0 {
+                let i = ((x >> 16) % 4) as usize;
+                b.end_interval_into(i, &mut sample);
+                assert_eq!(a.end_interval(i), sample, "at step {step}");
+            }
+        }
+        assert_eq!(a.queries(), b.queries());
+        assert_eq!(a.vectors_exchanged(), b.vectors_exchanged());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use dsm_sim::observer::{IntervalStats, SimObserver};
 
 use crate::bbv::BbvAccumulator;
-use crate::ddv::DdvState;
+use crate::ddv::{DdsSample, DdvState};
 use crate::footprint::FootprintTable;
 use crate::working_set::WsSignature;
 use crate::{DEFAULT_BBV_ENTRIES, DEFAULT_FOOTPRINT_VECTORS};
@@ -248,25 +248,33 @@ impl TraceClassifier {
         footprint_vectors: usize,
     ) -> Vec<u32> {
         let mut table = FootprintTable::new(footprint_vectors);
+        // One scratch buffer for the data half, reused across intervals; the
+        // BBV half is never copied — the table compares `bbv ++ tail` with a
+        // fused pass per entry (`classify_split`), bit-identical to
+        // classifying the materialized concatenation.
+        let mut tail: Vec<f64> = Vec::new();
         records
             .iter()
             .map(|r| {
-                let mut v = r.bbv.clone();
                 // Distance-weighted access frequencies, normalized so the
                 // data half carries `data_weight` total mass.
-                let weighted: Vec<f64> = r
-                    .fvec
-                    .iter()
-                    .zip(dist_row)
-                    .map(|(&f, &d)| f as f64 * d)
-                    .collect();
-                let total: f64 = weighted.iter().sum();
-                if total > 0.0 {
-                    v.extend(weighted.iter().map(|w| w / total * data_weight));
-                } else {
-                    v.extend(std::iter::repeat_n(0.0, weighted.len()));
+                tail.clear();
+                let mut total = 0.0;
+                for (&f, &d) in r.fvec.iter().zip(dist_row) {
+                    let w = f as f64 * d;
+                    total += w;
+                    tail.push(w);
                 }
-                table.classify(&v, 0.0, bbv_threshold, None).phase_id
+                // Every term is >= 0, so total == 0 means the tail is already
+                // all zeros (the unnormalizable case keeps a zero data half).
+                if total > 0.0 {
+                    for w in tail.iter_mut() {
+                        *w = *w / total * data_weight;
+                    }
+                }
+                table
+                    .classify_split(&r.bbv, &tail, 0.0, bbv_threshold, None)
+                    .phase_id
             })
             .collect()
     }
@@ -306,6 +314,11 @@ pub struct OnlineDetector {
     tables: Vec<FootprintTable>,
     /// Classified intervals, per processor, in order.
     pub classified: Vec<Vec<ClassifiedInterval>>,
+    /// Reusable per-interval buffers: the end-of-interval hot path
+    /// (DDV query + BBV normalization + table lookup) allocates nothing
+    /// in steady state.
+    scratch_bbv: Vec<f64>,
+    scratch_sample: DdsSample,
 }
 
 impl OnlineDetector {
@@ -323,6 +336,8 @@ impl OnlineDetector {
             ddv: DdvState::new(n_procs, dist),
             tables: (0..n_procs).map(|_| FootprintTable::new(geometry.footprint_vectors)).collect(),
             classified: vec![Vec::new(); n_procs],
+            scratch_bbv: Vec::new(),
+            scratch_sample: DdsSample::empty(),
         }
     }
 
@@ -364,13 +379,18 @@ impl SimObserver for OnlineDetector {
     }
 
     fn on_interval(&mut self, proc: usize, stats: IntervalStats) {
-        let sample = self.ddv.end_interval(proc);
-        let bbv = self.bbv[proc].normalized();
+        self.ddv.end_interval_into(proc, &mut self.scratch_sample);
+        self.bbv[proc].normalized_into(&mut self.scratch_bbv);
         let dds_thr = match self.mode {
             DetectorMode::Bbv => None,
             DetectorMode::BbvDdv => Some(self.thresholds.dds),
         };
-        let m = self.tables[proc].classify(&bbv, sample.dds, self.thresholds.bbv, dds_thr);
+        let m = self.tables[proc].classify(
+            &self.scratch_bbv,
+            self.scratch_sample.dds,
+            self.thresholds.bbv,
+            dds_thr,
+        );
         self.classified[proc].push(ClassifiedInterval {
             proc,
             index: stats.index,

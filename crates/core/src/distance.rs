@@ -8,6 +8,27 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
 }
 
+/// Manhattan distance between the concatenation `head ++ tail` and `b`,
+/// fused into one pass so the caller never materializes the concatenation.
+///
+/// This is the weighted-Manhattan comparison of the concatenated-vector
+/// classifier (normalized BBV head, distance-weighted DDV tail): terms are
+/// accumulated left to right exactly as [`manhattan`] over the materialized
+/// concatenation would, so results are bit-identical to the two-step form.
+#[inline]
+pub fn manhattan_concat(head: &[f64], tail: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(head.len() + tail.len(), b.len());
+    let (bh, bt) = b.split_at(head.len());
+    let mut sum = 0.0;
+    for (x, y) in head.iter().zip(bh) {
+        sum += (x - y).abs();
+    }
+    for (x, y) in tail.iter().zip(bt) {
+        sum += (x - y).abs();
+    }
+    sum
+}
+
 /// Relative difference between two non-negative scalars, in [0, 1]:
 /// `|a - b| / max(a, b)`, with 0 when both are ~zero.
 ///
@@ -44,6 +65,19 @@ mod tests {
         let b = [0.0, 0.0, 0.0, 1.0];
         let d = manhattan(&a, &b);
         assert!(d > 0.0 && d <= 2.0);
+    }
+
+    #[test]
+    fn manhattan_concat_matches_materialized_concatenation() {
+        let head = [0.2, 0.3, 0.5];
+        let tail = [1.5, 0.0, 4.25, 0.125];
+        let b = [0.1, 0.3, 0.7, 1.0, 0.5, 4.0, 0.0];
+        let mut cat = head.to_vec();
+        cat.extend_from_slice(&tail);
+        // Bit-identical, not just approximately equal: same accumulation order.
+        assert_eq!(manhattan_concat(&head, &tail, &b), manhattan(&cat, &b));
+        assert_eq!(manhattan_concat(&head, &[], &head), 0.0);
+        assert_eq!(manhattan_concat(&[], &tail, &tail), 0.0);
     }
 
     #[test]

@@ -11,19 +11,34 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::distance::{manhattan, relative_diff};
+use crate::distance::{manhattan_concat, relative_diff};
 
 /// One stored signature.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Entry {
-    /// Normalized BBV at allocation time.
-    pub bbv: Vec<f64>,
+    /// Normalized BBV at allocation time. Boxed slice: entry signatures
+    /// never grow, and the fixed-size buffer is reused across LRU evictions.
+    pub bbv: Box<[f64]>,
     /// DDS at allocation time (unused in BBV-only mode).
     pub dds: f64,
     /// Phase identifier assigned when this entry was allocated.
     pub phase_id: u32,
     /// LRU timestamp.
     last_used: u64,
+}
+
+impl Entry {
+    /// Overwrite with `src`, reusing the signature buffer when lengths match.
+    fn copy_from(&mut self, src: &Self) {
+        if self.bbv.len() == src.bbv.len() {
+            self.bbv.copy_from_slice(&src.bbv);
+        } else {
+            self.bbv = src.bbv.clone();
+        }
+        self.dds = src.dds;
+        self.phase_id = src.phase_id;
+        self.last_used = src.last_used;
+    }
 }
 
 /// Result of classifying one interval.
@@ -67,10 +82,27 @@ impl FootprintTable {
     /// * `dds_threshold` — `Some(t)` in BBV+DDV mode (relative DDS
     ///   difference must be `< t`), `None` in BBV-only mode.
     pub fn classify(&mut self, bbv: &[f64], dds: f64, bbv_threshold: f64, dds_threshold: Option<f64>) -> Match {
+        self.classify_split(bbv, &[], dds, bbv_threshold, dds_threshold)
+    }
+
+    /// [`Self::classify`] over a signature supplied as two segments whose
+    /// logical value is the concatenation `head ++ tail`. The concatenated
+    /// classifier (BBV head, distance-weighted DDV tail) uses this to avoid
+    /// copying the BBV into a combined vector every interval; distances are
+    /// computed by one fused pass per entry ([`manhattan_concat`]), so the
+    /// result is bit-identical to classifying the materialized concatenation.
+    pub fn classify_split(
+        &mut self,
+        head: &[f64],
+        tail: &[f64],
+        dds: f64,
+        bbv_threshold: f64,
+        dds_threshold: Option<f64>,
+    ) -> Match {
         self.clock += 1;
         let mut best: Option<(usize, f64)> = None;
         for (i, e) in self.entries.iter().enumerate() {
-            let d = manhattan(bbv, &e.bbv);
+            let d = manhattan_concat(head, tail, &e.bbv);
             if d >= bbv_threshold {
                 continue;
             }
@@ -92,21 +124,48 @@ impl FootprintTable {
         // Allocate a new entry (LRU eviction when full).
         let phase_id = self.next_phase_id;
         self.next_phase_id += 1;
-        let entry = Entry { bbv: bbv.to_vec(), dds, phase_id, last_used: self.clock };
-        if self.entries.len() < self.capacity {
-            self.entries.push(entry);
-        } else {
-            let lru = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i)
-                .expect("capacity > 0");
-            self.entries[lru] = entry;
-            self.evictions += 1;
-        }
+        self.alloc_entry(head, tail, dds, phase_id);
         Match { phase_id, is_new: true, distance: 0.0 }
+    }
+
+    /// Store `head ++ tail` as a new entry. Below capacity this allocates
+    /// (bounded by table size, not by interval count); once the table is
+    /// full, the evicted entry's buffer is reused when the signature length
+    /// is unchanged — the steady-state case — so long runs allocate nothing.
+    fn alloc_entry(&mut self, head: &[f64], tail: &[f64], dds: f64, phase_id: u32) {
+        let concat = |head: &[f64], tail: &[f64]| {
+            let mut sig = Vec::with_capacity(head.len() + tail.len());
+            sig.extend_from_slice(head);
+            sig.extend_from_slice(tail);
+            sig.into_boxed_slice()
+        };
+        if self.entries.len() < self.capacity {
+            self.entries.push(Entry {
+                bbv: concat(head, tail),
+                dds,
+                phase_id,
+                last_used: self.clock,
+            });
+            return;
+        }
+        let lru = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)
+            .expect("capacity > 0");
+        self.evictions += 1;
+        let e = &mut self.entries[lru];
+        e.dds = dds;
+        e.phase_id = phase_id;
+        e.last_used = self.clock;
+        if e.bbv.len() == head.len() + tail.len() {
+            e.bbv[..head.len()].copy_from_slice(head);
+            e.bbv[head.len()..].copy_from_slice(tail);
+        } else {
+            e.bbv = concat(head, tail);
+        }
     }
 
     /// Number of phase ids ever allocated.
@@ -126,6 +185,22 @@ impl FootprintTable {
 
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Overwrite this table with `other`, reusing resident entry buffers
+    /// where possible, so repeated context save/restore cycles stop
+    /// allocating once buffers reach their steady-state sizes.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.capacity = other.capacity;
+        self.clock = other.clock;
+        self.next_phase_id = other.next_phase_id;
+        self.evictions = other.evictions;
+        let keep = self.entries.len().min(other.entries.len());
+        self.entries.truncate(other.entries.len());
+        for (dst, src) in self.entries.iter_mut().zip(&other.entries[..keep]) {
+            dst.copy_from(src);
+        }
+        self.entries.extend(other.entries[keep..].iter().cloned());
     }
 
     /// Clear all entries and phase numbering (multiprogramming: "phase
@@ -260,6 +335,28 @@ mod tests {
             t.classify(&x, 0.0, 2.1, None);
         }
         assert_eq!(t.phases_allocated(), 1);
+    }
+
+    #[test]
+    fn classify_split_matches_concatenated_classify() {
+        let mut whole = FootprintTable::new(2);
+        let mut split = FootprintTable::new(2);
+        let cases: &[(&[f64], &[f64], f64)] = &[
+            (&[0.5, 0.5], &[10.0, 0.0], 100.0),
+            (&[0.1, 0.9], &[0.0, 12.5], 900.0),
+            (&[0.5, 0.5], &[10.0, 0.0], 105.0),
+            (&[0.9, 0.1], &[3.0, 3.0], 50.0), // third signature: forces an eviction
+            (&[0.5, 0.5], &[10.0, 0.0], 100.0),
+        ];
+        for &(head, tail, dds) in cases {
+            let mut cat = head.to_vec();
+            cat.extend_from_slice(tail);
+            let a = whole.classify(&cat, dds, 0.4, Some(0.3));
+            let b = split.classify_split(head, tail, dds, 0.4, Some(0.3));
+            assert_eq!(a, b, "split classification diverged on {cat:?}");
+        }
+        assert_eq!(whole.entries(), split.entries());
+        assert_eq!(whole.evictions(), split.evictions());
     }
 
     #[test]

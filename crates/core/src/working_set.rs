@@ -65,6 +65,13 @@ impl WsSignature {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
 
+    /// Overwrite this signature with `other`, reusing the existing word
+    /// buffer (both must have the same width).
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.words.len(), other.words.len());
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Raw signature words (recorded into interval traces).
     pub fn words(&self) -> &[u64] {
         &self.words
@@ -110,9 +117,8 @@ impl WorkingSetDetector {
         }
         let id = self.next_phase_id;
         self.next_phase_id += 1;
-        let entry = (sig.clone(), id, self.clock);
         if self.table.len() < self.capacity {
-            self.table.push(entry);
+            self.table.push((sig.clone(), id, self.clock));
         } else {
             let lru = self
                 .table
@@ -121,7 +127,16 @@ impl WorkingSetDetector {
                 .min_by_key(|(_, (_, _, t))| *t)
                 .map(|(i, _)| i)
                 .unwrap();
-            self.table[lru] = entry;
+            // Reuse the evicted signature's buffer when widths match (the
+            // steady state — signature geometry never changes mid-run).
+            let slot = &mut self.table[lru];
+            if slot.0.words.len() == sig.words.len() {
+                slot.0.copy_from(sig);
+            } else {
+                slot.0 = sig.clone();
+            }
+            slot.1 = id;
+            slot.2 = self.clock;
         }
         id
     }
@@ -212,6 +227,23 @@ mod tests {
         let p3 = det.classify(&s3, 0.5);
         assert_ne!(p1, p3);
         assert_eq!(det.phases_allocated(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_reuses_slot_and_assigns_fresh_id() {
+        let one_hot = |bb: u32| {
+            let mut s = WsSignature::new(1024);
+            s.insert(bb);
+            s
+        };
+        let (a, b, c) = (one_hot(1), one_hot(2), one_hot(3));
+        let mut det = WorkingSetDetector::new(2);
+        assert_eq!(det.classify(&a, 0.5), 0);
+        assert_eq!(det.classify(&b, 0.5), 1);
+        assert_eq!(det.classify(&c, 0.5), 2); // evicts a (LRU), reusing its slot
+        assert_eq!(det.classify(&c, 0.5), 2, "c must be resident after eviction");
+        assert_eq!(det.classify(&a, 0.5), 3, "a was evicted, so it is a new phase");
+        assert_eq!(det.phases_allocated(), 4);
     }
 
     #[test]

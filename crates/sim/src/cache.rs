@@ -12,18 +12,24 @@ pub enum Lookup {
     Miss { writeback: Option<Addr> },
 }
 
-#[derive(Clone)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-}
+/// Per-line state word: `(tag << 2) | dirty << 1 | valid`. Packing the tag
+/// and flags into one u64 keeps the whole tag scan of an 8-way set inside a
+/// single host cache line — the simulated tag arrays are megabytes per
+/// node, so their memory behaviour dominates the simulator's hot path.
+const VALID: u64 = 0b01;
+const DIRTY: u64 = 0b10;
+const TAG_SHIFT: u32 = 2;
 
 /// A single set-associative cache (one level, one node).
+///
+/// Stored struct-of-arrays: `tags` (scanned on every access) and `lru`
+/// (touched only for the hit way or the victim search) are separate, so an
+/// access reads at most two host cache lines instead of walking an
+/// array-of-structs set.
 pub struct Cache {
     cfg: CacheConfig,
-    lines: Vec<Line>, // sets * assoc, set-major
+    tags: Vec<u64>, // sets * assoc packed state words, set-major
+    lru: Vec<u64>,  // last-use clock per line, same indexing
     set_mask: u64,
     block_shift: u32,
     set_shift: u32,
@@ -38,11 +44,10 @@ impl Cache {
         assert!(sets.is_power_of_two() && sets > 0, "bad cache geometry");
         assert!(cfg.line_bytes.is_power_of_two());
         let block_shift = cfg.line_bytes.trailing_zeros();
+        let lines = (sets * cfg.assoc as u64) as usize;
         Self {
-            lines: vec![
-                Line { tag: 0, valid: false, dirty: false, lru: 0 };
-                (sets * cfg.assoc as u64) as usize
-            ],
+            tags: vec![0; lines],
+            lru: vec![0; lines],
             set_mask: sets - 1,
             block_shift,
             set_shift: block_shift + sets.trailing_zeros(),
@@ -64,82 +69,82 @@ impl Cache {
         (set * self.cfg.assoc as usize, tag)
     }
 
+    /// Index of the way holding a valid line with `tag` within the set
+    /// starting at `base`, if any. The comparison masks DIRTY out, so one
+    /// compare per way checks tag and validity together.
+    #[inline]
+    fn find(&self, base: usize, tag: u64) -> Option<usize> {
+        let want = (tag << TAG_SHIFT) | VALID;
+        self.tags[base..base + self.cfg.assoc as usize]
+            .iter()
+            .position(|&t| t & !DIRTY == want)
+    }
+
     /// Access `addr`; on a miss the line is filled (allocate-on-miss for
     /// both loads and stores, as in a writeback write-allocate cache).
     pub fn access(&mut self, addr: Addr, write: bool) -> Lookup {
         self.clock += 1;
         let (base, tag) = self.set_range(addr);
-        let assoc = self.cfg.assoc as usize;
-        let set = &mut self.lines[base..base + assoc];
 
-        for line in set.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.lru = self.clock;
-                line.dirty |= write;
-                self.hits += 1;
-                return Lookup::Hit;
-            }
+        if let Some(way) = self.find(base, tag) {
+            self.tags[base + way] |= (write as u64) << 1;
+            self.lru[base + way] = self.clock;
+            self.hits += 1;
+            return Lookup::Hit;
         }
         self.misses += 1;
 
         // Victim: invalid line if any, else true-LRU.
-        let victim = set
+        let assoc = self.cfg.assoc as usize;
+        let victim = self.tags[base..base + assoc]
             .iter()
+            .zip(&self.lru[base..base + assoc])
             .enumerate()
-            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .min_by_key(|(_, (&t, &lru))| if t & VALID != 0 { lru } else { 0 })
             .map(|(i, _)| i)
             .expect("associativity is nonzero");
         let set_index = (base / assoc) as u64;
-        let set_shift = self.set_shift;
-        let block_shift = self.block_shift;
-        let line = &mut set[victim];
-        let writeback = if line.valid && line.dirty {
-            Some((line.tag << set_shift) | (set_index << block_shift))
+        let old = self.tags[base + victim];
+        let writeback = if old & VALID != 0 && old & DIRTY != 0 {
+            Some(((old >> TAG_SHIFT) << self.set_shift) | (set_index << self.block_shift))
         } else {
             None
         };
-        line.tag = tag;
-        line.valid = true;
-        line.dirty = write;
-        line.lru = self.clock;
+        self.tags[base + victim] = (tag << TAG_SHIFT) | ((write as u64) << 1) | VALID;
+        self.lru[base + victim] = self.clock;
         Lookup::Miss { writeback }
     }
 
     /// Probe without filling or updating LRU; true if the block is present.
     pub fn probe(&self, addr: Addr) -> bool {
         let (base, tag) = self.set_range(addr);
-        self.lines[base..base + self.cfg.assoc as usize]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.find(base, tag).is_some()
     }
 
     /// Invalidate the block containing `addr` (coherence). Returns true if
     /// the block was present and dirty.
     pub fn invalidate(&mut self, addr: Addr) -> bool {
         let (base, tag) = self.set_range(addr);
-        for line in &mut self.lines[base..base + self.cfg.assoc as usize] {
-            if line.valid && line.tag == tag {
-                line.valid = false;
-                let was_dirty = line.dirty;
-                line.dirty = false;
-                return was_dirty;
-            }
+        if let Some(way) = self.find(base, tag) {
+            let was_dirty = self.tags[base + way] & DIRTY != 0;
+            self.tags[base + way] = 0;
+            was_dirty
+        } else {
+            false
         }
-        false
     }
 
     /// Downgrade a line to clean (coherence: exclusive → shared). Returns
     /// true if the block was present and dirty.
     pub fn downgrade(&mut self, addr: Addr) -> bool {
         let (base, tag) = self.set_range(addr);
-        for line in &mut self.lines[base..base + self.cfg.assoc as usize] {
-            if line.valid && line.tag == tag {
-                let was_dirty = line.dirty;
-                line.dirty = false;
-                return was_dirty;
-            }
+        if let Some(way) = self.find(base, tag) {
+            let was_dirty = self.tags[base + way] & DIRTY != 0;
+            self.tags[base + way] &= !DIRTY;
+            was_dirty
+        } else {
+            false
         }
-        false
     }
 
     pub fn hits(&self) -> u64 {
@@ -152,10 +157,7 @@ impl Cache {
 
     /// Invalidate everything (context switch in the multiprogramming demo).
     pub fn flush(&mut self) {
-        for line in &mut self.lines {
-            line.valid = false;
-            line.dirty = false;
-        }
+        self.tags.fill(0);
     }
 }
 

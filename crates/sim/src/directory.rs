@@ -10,6 +10,8 @@
 //! Node sets are stored as a `u64` bitmask, which comfortably covers the
 //! paper's 32-node maximum.
 
+use std::collections::hash_map::Entry;
+
 use crate::util::FxHashMap;
 use serde::{Deserialize, Serialize};
 
@@ -76,31 +78,47 @@ impl Directory {
         Self::default()
     }
 
+    /// Directory pre-sized for an expected number of simultaneously tracked
+    /// blocks (the system derives this from aggregate L2 capacity), so the
+    /// hot coherence path does not rehash-grow the map mid-run. Capacity is
+    /// only a hint; behaviour is identical to [`Directory::new`].
+    pub fn with_capacity(blocks: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(blocks, Default::default()),
+            stats: DirectoryStats::default(),
+        }
+    }
+
     /// Handle a read miss for `block` by `requester`.
+    ///
+    /// Both handlers go through the entry API so each request hashes the
+    /// block exactly once — the directory lookup sits on the L2-miss path,
+    /// where a second probe per request is measurable.
     pub fn read(&mut self, block: u64, requester: usize) -> ReadOutcome {
         self.stats.reads += 1;
         let bit = 1u64 << requester;
-        match self.map.get(&block).copied() {
-            None => {
+        match self.map.entry(block) {
+            Entry::Vacant(v) => {
                 // First reader gets the block exclusively (MESI E-state).
-                self.map.insert(block, DirState::Exclusive(requester));
+                v.insert(DirState::Exclusive(requester));
                 ReadOutcome { source: ReadSource::Memory }
             }
-            Some(DirState::Shared(mask)) => {
-                self.map.insert(block, DirState::Shared(mask | bit));
-                ReadOutcome { source: ReadSource::Memory }
-            }
-            Some(DirState::Exclusive(owner)) if owner == requester => {
-                // Stale entry after a silent clean eviction at the owner;
-                // refetch from memory, ownership unchanged.
-                ReadOutcome { source: ReadSource::Memory }
-            }
-            Some(DirState::Exclusive(owner)) => {
-                self.stats.owner_forwards += 1;
-                self.map
-                    .insert(block, DirState::Shared(bit | (1u64 << owner)));
-                ReadOutcome { source: ReadSource::Owner(owner) }
-            }
+            Entry::Occupied(mut o) => match *o.get() {
+                DirState::Shared(mask) => {
+                    o.insert(DirState::Shared(mask | bit));
+                    ReadOutcome { source: ReadSource::Memory }
+                }
+                DirState::Exclusive(owner) if owner == requester => {
+                    // Stale entry after a silent clean eviction at the owner;
+                    // refetch from memory, ownership unchanged.
+                    ReadOutcome { source: ReadSource::Memory }
+                }
+                DirState::Exclusive(owner) => {
+                    self.stats.owner_forwards += 1;
+                    o.insert(DirState::Shared(bit | (1u64 << owner)));
+                    ReadOutcome { source: ReadSource::Owner(owner) }
+                }
+            },
         }
     }
 
@@ -108,41 +126,60 @@ impl Directory {
     pub fn write(&mut self, block: u64, requester: usize) -> WriteOutcome {
         self.stats.writes += 1;
         let bit = 1u64 << requester;
-        let outcome = match self.map.get(&block).copied() {
-            None => WriteOutcome {
-                invalidate_mask: 0,
-                owner_forward: None,
-                from_memory: true,
-            },
-            Some(DirState::Shared(mask)) => {
-                let others = mask & !bit;
-                self.stats.invalidations += others.count_ones() as u64;
-                if mask & bit != 0 {
-                    self.stats.upgrades += 1;
-                }
-                WriteOutcome {
-                    invalidate_mask: others,
-                    owner_forward: None,
-                    // Upgrade: requester already holds the data.
-                    from_memory: mask & bit == 0,
-                }
+        let (outcome, invalidations, upgrade) = match self.map.entry(block) {
+            Entry::Vacant(v) => {
+                v.insert(DirState::Exclusive(requester));
+                (
+                    WriteOutcome {
+                        invalidate_mask: 0,
+                        owner_forward: None,
+                        from_memory: true,
+                    },
+                    0,
+                    false,
+                )
             }
-            Some(DirState::Exclusive(owner)) if owner == requester => WriteOutcome {
-                // Stale after silent eviction; refetch.
-                invalidate_mask: 0,
-                owner_forward: None,
-                from_memory: true,
-            },
-            Some(DirState::Exclusive(owner)) => {
-                self.stats.invalidations += 1;
-                WriteOutcome {
-                    invalidate_mask: 1u64 << owner,
-                    owner_forward: Some(owner),
-                    from_memory: false,
+            Entry::Occupied(mut o) => {
+                let prev = *o.get();
+                o.insert(DirState::Exclusive(requester));
+                match prev {
+                    DirState::Shared(mask) => {
+                        let others = mask & !bit;
+                        (
+                            WriteOutcome {
+                                invalidate_mask: others,
+                                owner_forward: None,
+                                // Upgrade: requester already holds the data.
+                                from_memory: mask & bit == 0,
+                            },
+                            others.count_ones() as u64,
+                            mask & bit != 0,
+                        )
+                    }
+                    DirState::Exclusive(owner) if owner == requester => (
+                        WriteOutcome {
+                            // Stale after silent eviction; refetch.
+                            invalidate_mask: 0,
+                            owner_forward: None,
+                            from_memory: true,
+                        },
+                        0,
+                        false,
+                    ),
+                    DirState::Exclusive(owner) => (
+                        WriteOutcome {
+                            invalidate_mask: 1u64 << owner,
+                            owner_forward: Some(owner),
+                            from_memory: false,
+                        },
+                        1,
+                        false,
+                    ),
                 }
             }
         };
-        self.map.insert(block, DirState::Exclusive(requester));
+        self.stats.invalidations += invalidations;
+        self.stats.upgrades += upgrade as u64;
         outcome
     }
 

@@ -82,10 +82,15 @@ pub trait ChunkGen {
 }
 
 /// Buffers [`ChunkGen`] output per processor.
+///
+/// Chunks are filled straight into per-processor buffers consumed through a
+/// cursor, so the per-event cost of `next` is one indexed read — no
+/// per-event queue traffic and no intermediate copy of each chunk.
 pub struct ChunkedStream<G: ChunkGen> {
     gen: G,
-    bufs: Vec<std::collections::VecDeque<Event>>,
-    scratch: Vec<Event>,
+    bufs: Vec<Vec<Event>>,
+    /// Read cursor into each processor's buffer.
+    pos: Vec<usize>,
     done: Vec<bool>,
 }
 
@@ -94,8 +99,8 @@ impl<G: ChunkGen> ChunkedStream<G> {
         let n = gen.n_procs();
         Self {
             gen,
-            bufs: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
-            scratch: Vec::with_capacity(4096),
+            bufs: (0..n).map(|_| Vec::with_capacity(4096)).collect(),
+            pos: vec![0; n],
             done: vec![false; n],
         }
     }
@@ -111,21 +116,24 @@ impl<G: ChunkGen> InstructionStream for ChunkedStream<G> {
         self.bufs.len()
     }
 
+    #[inline]
     fn next(&mut self, proc: usize) -> Event {
         loop {
-            if let Some(e) = self.bufs[proc].pop_front() {
+            let buf = &mut self.bufs[proc];
+            if let Some(&e) = buf.get(self.pos[proc]) {
+                self.pos[proc] += 1;
                 return e;
             }
             if self.done[proc] {
                 return Event::End;
             }
-            self.scratch.clear();
-            self.gen.fill(proc, &mut self.scratch);
-            if self.scratch.is_empty() {
+            buf.clear();
+            self.pos[proc] = 0;
+            self.gen.fill(proc, buf);
+            if buf.is_empty() {
                 self.done[proc] = true;
                 return Event::End;
             }
-            self.bufs[proc].extend(self.scratch.drain(..));
         }
     }
 }

@@ -36,6 +36,7 @@ pub mod memctrl;
 pub mod network;
 pub mod observer;
 pub mod processor;
+pub mod sched;
 pub mod stats;
 pub mod system;
 pub mod util;

@@ -56,7 +56,14 @@ impl MemCtrl {
     /// latency later, and the bank is occupied for the bandwidth-derived
     /// service gap.
     pub fn request_block(&mut self, block: u64, now: u64) -> MemService {
-        let bank = (block % self.busy_until.len() as u64) as usize;
+        // Bank counts are powers of two in every shipped config (Table I has
+        // one interleaved controller per node); mask instead of dividing.
+        let n = self.busy_until.len() as u64;
+        let bank = if n.is_power_of_two() {
+            (block & (n - 1)) as usize
+        } else {
+            (block % n) as usize
+        };
         let busy = &mut self.busy_until[bank];
         let start = now.max(*busy);
         let queue_delay = start - now;

@@ -63,24 +63,32 @@ impl Processor {
     }
 
     /// Commit `n` simple instructions; advances the cycle by `n / width`
-    /// with an exact carry.
+    /// with an exact carry. The division is skipped while the carry stays
+    /// under the commit width — the common case for the single-instruction
+    /// commits of the memory path.
     #[inline]
     pub fn commit_insns(&mut self, n: u64) {
-        self.commit_carry += n;
-        let whole = self.commit_carry / self.core.commit_width as u64;
-        self.commit_carry %= self.core.commit_width as u64;
-        self.cycle += whole;
         self.stats.insns += n;
+        self.commit_carry += n;
+        let width = self.core.commit_width as u64;
+        if self.commit_carry >= width {
+            let whole = self.commit_carry / width;
+            self.commit_carry -= whole * width;
+            self.cycle += whole;
+        }
     }
 
     /// Commit `n` floating-point operations at FPU throughput.
     #[inline]
     pub fn commit_fp(&mut self, n: u64) {
-        self.fp_carry += n;
-        let whole = self.fp_carry / self.core.fpu_units as u64;
-        self.fp_carry %= self.core.fpu_units as u64;
-        self.cycle += whole;
         self.stats.insns += n;
+        self.fp_carry += n;
+        let units = self.core.fpu_units as u64;
+        if self.fp_carry >= units {
+            let whole = self.fp_carry / units;
+            self.fp_carry -= whole * units;
+            self.cycle += whole;
+        }
     }
 
     /// Resolve the branch terminating a basic block; charges the mispredict
@@ -120,6 +128,23 @@ impl Processor {
         self.interval_index += 1;
         self.stats.intervals += 1;
         Some((index, done_insns, cycles))
+    }
+
+    /// Would committing `insns` more instructions complete the current
+    /// sampling interval? Used by the batched scheduler to decide whether a
+    /// compute event may run outside the global event order.
+    #[inline]
+    pub fn interval_would_complete(&self, insns: u64) -> bool {
+        self.interval_progress + insns >= self.interval_len
+    }
+
+    /// Advance interval progress without checking for completion — only
+    /// valid when [`Processor::interval_would_complete`] returned false for
+    /// the same `insns`.
+    #[inline]
+    pub fn advance_interval_partial(&mut self, insns: u64) {
+        debug_assert!(self.interval_progress + insns < self.interval_len);
+        self.interval_progress += insns;
     }
 
     /// Reset interval bookkeeping (multiprogramming context switch).

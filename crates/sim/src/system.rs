@@ -17,6 +17,7 @@ use crate::memctrl::MemCtrl;
 use crate::network::Network;
 use crate::observer::{IntervalStats, SimObserver};
 use crate::processor::Processor;
+use crate::sched::MinTree;
 use crate::stats::SystemStats;
 use crate::util::FxHashMap;
 
@@ -46,6 +47,14 @@ pub struct System<S: InstructionStream, O: SimObserver> {
     stream: S,
     observer: O,
     events_executed: u64,
+    /// Indexed scheduler: one key per processor, equal to its cycle while
+    /// runnable and `u64::MAX` while finished or blocked.
+    sched: MinTree,
+    /// One fetched-but-not-yet-executed event per processor. The batched
+    /// run loop parks an event here when it must execute at the processor's
+    /// canonical position in the global `(cycle, id)` order rather than
+    /// inside a compute batch.
+    pending: Vec<Option<Event>>,
 }
 
 impl<S: InstructionStream, O: SimObserver> System<S, O> {
@@ -59,12 +68,14 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         let n = cfg.n_procs;
         Self {
             procs: (0..n).map(|i| Processor::new(i, &cfg)).collect(),
-            cfg: cfg.clone(),
-            dir: Directory::new(),
+            dir: Directory::with_capacity(cfg.directory_capacity_hint()),
             net: Network::new(cfg.network, n),
             memctrls: (0..n).map(|_| MemCtrl::new(cfg.memory)).collect(),
             homes: HomeMap::new(cfg.distribution, n),
-            locks: FxHashMap::default(),
+            locks: FxHashMap::with_capacity_and_hasher(
+                cfg.lock_capacity_hint(),
+                Default::default(),
+            ),
             barrier: BarrierState {
                 current_id: None,
                 arrived_mask: 0,
@@ -73,6 +84,9 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             stream,
             observer,
             events_executed: 0,
+            sched: MinTree::new(n),
+            pending: vec![None; n],
+            cfg,
         }
     }
 
@@ -94,45 +108,111 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
     }
 
     /// Run to completion of all processor streams; returns final statistics.
+    ///
+    /// Uses the batched event loop: runs of pure compute events
+    /// (`Block`/`Fp`) that stay inside one sampling interval execute without
+    /// re-entering the global scheduler. This is observationally identical
+    /// to repeated [`System::step`] — compute events touch only
+    /// processor-private state, and every event that can interact across
+    /// processors (memory, synchronization, `End`, and any event completing
+    /// a sampling interval) still executes at its canonical position in the
+    /// global `(cycle, id)` order.
     pub fn run(mut self) -> (SystemStats, O) {
+        while self.step_batched() {}
+        let stats = self.finish_stats();
+        (stats, self.observer)
+    }
+
+    /// Run to completion strictly one event at a time in global
+    /// `(cycle, id)` order — the reference the batched [`System::run`] is
+    /// tested against. Slower; behaviourally identical.
+    pub fn run_unbatched(mut self) -> (SystemStats, O) {
         while self.step() {}
         let stats = self.finish_stats();
         (stats, self.observer)
     }
 
-    /// Execute one event on the earliest runnable processor. Returns false
-    /// when every processor has finished.
+    /// Execute one event on the earliest runnable processor (smallest
+    /// `(cycle, id)`). Returns false when every processor has finished.
     pub fn step(&mut self) -> bool {
-        let next = self
-            .procs
-            .iter()
-            .enumerate()
-            .filter(|(_, pr)| !pr.finished && !pr.blocked)
-            .min_by_key(|(i, pr)| (pr.cycle, *i))
-            .map(|(i, _)| i);
+        let Some(p) = self.sched.min() else {
+            return self.handle_no_runnable();
+        };
+        let ev = match self.pending[p].take() {
+            Some(ev) => ev,
+            None => self.stream.next(p),
+        };
+        self.events_executed += 1;
+        self.dispatch(p, ev);
+        self.refresh_key(p);
+        true
+    }
 
-        let p = match next {
-            Some(p) => p,
-            None => {
-                if self.procs.iter().all(|pr| pr.finished) {
-                    return false;
+    /// One scheduler turn of the batched loop: give the earliest runnable
+    /// processor its pending event, or drain a run of its compute events.
+    fn step_batched(&mut self) -> bool {
+        let Some(p) = self.sched.min() else {
+            return self.handle_no_runnable();
+        };
+        if let Some(ev) = self.pending[p].take() {
+            self.events_executed += 1;
+            self.dispatch(p, ev);
+            self.refresh_key(p);
+            return true;
+        }
+        // Drain compute events that neither touch shared state nor complete
+        // the current sampling interval. Cycle accounting for the whole
+        // batch is settled once at the end: nothing inside the batch reads
+        // the intermediate cycle, the commit-carry arithmetic is
+        // associative, and mispredict penalties are plain cycle additions
+        // that commute with the carry division — so one division per batch
+        // is exact. The first event that cannot be batched is parked in the
+        // pending slot (or, when the batch is empty, executed right away —
+        // `p` is still the scheduler minimum).
+        let mut batched = 0u64;
+        let mut block_insns = 0u64;
+        let mut fp_ops = 0u64;
+        let Self { procs, stream, observer, .. } = self;
+        let pr = &mut procs[p];
+        let tail = loop {
+            let ev = stream.next(p);
+            match ev {
+                Event::Block { bb, insns, taken }
+                    if !pr.interval_would_complete(insns as u64) =>
+                {
+                    batched += 1;
+                    block_insns += insns as u64;
+                    pr.resolve_branch(bb, taken);
+                    observer.on_block_commit(p, bb, insns);
+                    pr.advance_interval_partial(insns as u64);
                 }
-                let blocked: Vec<usize> = self
-                    .procs
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, pr)| pr.blocked)
-                    .map(|(i, _)| i)
-                    .collect();
-                panic!(
-                    "deadlock: no runnable processor; blocked = {blocked:?} \
-                     (malformed workload: unmatched barrier or lock)"
-                );
+                Event::Fp { ops } if !pr.interval_would_complete(ops as u64) => {
+                    batched += 1;
+                    fp_ops += ops as u64;
+                    pr.advance_interval_partial(ops as u64);
+                }
+                other => break other,
             }
         };
+        if block_insns > 0 {
+            pr.commit_insns(block_insns);
+        }
+        if fp_ops > 0 {
+            pr.commit_fp(fp_ops);
+        }
+        self.events_executed += batched;
+        if batched > 0 {
+            self.pending[p] = Some(tail);
+        } else {
+            self.events_executed += 1;
+            self.dispatch(p, tail);
+        }
+        self.refresh_key(p);
+        true
+    }
 
-        self.events_executed += 1;
-        let ev = self.stream.next(p);
+    /// Execute one already-fetched event on processor `p`.
+    fn dispatch(&mut self, p: usize, ev: Event) {
         match ev {
             Event::Block { bb, insns, taken } => {
                 self.procs[p].commit_insns(insns as u64);
@@ -142,9 +222,13 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             }
             Event::Mem { addr, write } => {
                 let home = self.mem_access(p, addr, write);
-                self.procs[p].commit_insns(1);
                 self.observer.on_mem_commit(p, home, addr, write);
-                self.advance_interval(p, 1);
+                let pr = &mut self.procs[p];
+                pr.commit_insns(1);
+                if let Some((index, insns, cycles)) = pr.advance_interval(1) {
+                    self.observer
+                        .on_interval(p, IntervalStats { index, insns, cycles });
+                }
             }
             Event::Fp { ops } => {
                 self.procs[p].commit_fp(ops as u64);
@@ -158,7 +242,34 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                 self.procs[p].sync_stats();
             }
         }
-        true
+    }
+
+    /// Re-derive processor `p`'s scheduler key from its state.
+    #[inline]
+    fn refresh_key(&mut self, p: usize) {
+        let pr = &self.procs[p];
+        let key = if pr.finished || pr.blocked { u64::MAX } else { pr.cycle };
+        self.sched.set_key(p, key);
+    }
+
+    /// No runnable processor: either everything finished (normal
+    /// termination) or the workload deadlocked. Off the hot path.
+    #[cold]
+    fn handle_no_runnable(&self) -> bool {
+        if self.procs.iter().all(|pr| pr.finished) {
+            return false;
+        }
+        let blocked: Vec<usize> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, pr)| pr.blocked)
+            .map(|(i, _)| i)
+            .collect();
+        panic!(
+            "deadlock: no runnable processor; blocked = {blocked:?} \
+             (malformed workload: unmatched barrier or lock)"
+        );
     }
 
     #[inline]
@@ -175,27 +286,30 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
     fn mem_access(&mut self, p: usize, addr: u64, write: bool) -> usize {
         let block = block_of(addr);
         let home = self.homes.home(block, p);
-        self.procs[p].stats.mem_refs += 1;
+        // The L1-hit and L2-hit paths — the bulk of all memory events —
+        // touch only processor-private state, borrowed once here.
+        let pr = &mut self.procs[p];
+        pr.stats.mem_refs += 1;
 
-        if matches!(self.procs[p].l1.access(addr, write), crate::cache::Lookup::Hit) {
+        if matches!(pr.l1.access(addr, write), crate::cache::Lookup::Hit) {
             return home; // 1-cycle pipelined hit: no stall.
         }
-        self.procs[p].stats.l1_misses += 1;
+        pr.stats.l1_misses += 1;
 
-        match self.procs[p].l2.access(addr, write) {
+        match pr.l2.access(addr, write) {
             crate::cache::Lookup::Hit => {
                 let lat = self.cfg.l2.latency_cycles;
-                self.procs[p].charge_mem_stall(lat);
+                pr.charge_mem_stall(lat);
             }
             crate::cache::Lookup::Miss { writeback } => {
-                self.procs[p].stats.l2_misses += 1;
+                pr.stats.l2_misses += 1;
+                if home == p {
+                    pr.stats.local_home_misses += 1;
+                } else {
+                    pr.stats.remote_home_misses += 1;
+                }
                 if let Some(victim) = writeback {
                     self.handle_writeback(p, victim);
-                }
-                if home == p {
-                    self.procs[p].stats.local_home_misses += 1;
-                } else {
-                    self.procs[p].stats.remote_home_misses += 1;
                 }
                 let raw = self.cfg.l2.latency_cycles + self.coherence_stall(p, block, home, write);
                 self.procs[p].charge_mem_stall(raw);
@@ -335,6 +449,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                 pr.stats.sync_wait_cycles += release - pr.blocked_since;
                 pr.cycle = release;
                 pr.blocked = false;
+                self.refresh_key(q);
             }
             self.barrier.current_id = None;
             self.barrier.arrived_mask = 0;
@@ -385,6 +500,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             pr.stats.sync_wait_cycles += resume - pr.blocked_since;
             pr.cycle = resume;
             pr.blocked = false;
+            self.refresh_key(q);
         } else {
             st.owner = None;
         }
@@ -754,6 +870,90 @@ mod tests {
         let sys = System::new(cfg(2), script, NullObserver);
         let (stats, _) = sys.run();
         assert_eq!(stats.total_insns(), 10_010);
+    }
+
+    #[test]
+    fn batched_run_matches_unbatched_reference() {
+        // Randomized mixed workloads (compute runs, memory, locks,
+        // barriers) with short sampling intervals: the batched run() and
+        // the one-event-at-a-time reference must produce identical final
+        // stats and identical per-processor observer streams.
+        #[derive(Clone, PartialEq, Debug, Default)]
+        struct Log {
+            blocks: Vec<(u32, u32)>,
+            mems: Vec<(usize, u64, bool)>,
+            intervals: Vec<(u64, u64, u64)>,
+        }
+        struct Recorder(Vec<Log>);
+        impl SimObserver for Recorder {
+            fn on_block_commit(&mut self, p: usize, bb: u32, insns: u32) {
+                self.0[p].blocks.push((bb, insns));
+            }
+            fn on_mem_commit(&mut self, p: usize, home: usize, addr: u64, write: bool) {
+                self.0[p].mems.push((home, addr, write));
+            }
+            fn on_interval(&mut self, p: usize, s: IntervalStats) {
+                self.0[p].intervals.push((s.index, s.insns, s.cycles));
+            }
+        }
+
+        let n = 4usize;
+        let mk_events = |seed: u64| -> Vec<Vec<Event>> {
+            (0..n)
+                .map(|p| {
+                    let mut x = seed ^ ((p as u64 + 1) << 32);
+                    let mut rnd = move || {
+                        x = crate::util::splitmix64(x);
+                        x
+                    };
+                    let mut evs = Vec::new();
+                    for round in 0..6u32 {
+                        for _ in 0..(rnd() % 40 + 10) {
+                            match rnd() % 8 {
+                                0 => evs.push(Event::Mem {
+                                    addr: explicit_addr(
+                                        (rnd() % n as u64) as usize,
+                                        (rnd() % 4096) * 32,
+                                    ),
+                                    write: rnd() % 3 == 0,
+                                }),
+                                1 => evs.push(Event::Fp { ops: (rnd() % 12 + 1) as u32 }),
+                                _ => evs.push(Event::Block {
+                                    bb: (rnd() % 19) as u32,
+                                    insns: (rnd() % 30 + 4) as u32,
+                                    taken: rnd() % 2 == 0,
+                                }),
+                            }
+                        }
+                        let lock = (rnd() % 3) as u32;
+                        evs.push(Event::Acquire { lock });
+                        evs.push(Event::Block {
+                            bb: 99,
+                            insns: (rnd() % 50 + 1) as u32,
+                            taken: true,
+                        });
+                        evs.push(Event::Release { lock });
+                        evs.push(Event::Barrier { id: round });
+                    }
+                    evs
+                })
+                .collect()
+        };
+
+        for seed in [1u64, 42, 0xdead_beef] {
+            let cfg = SystemConfig::with_interval_base(n, 400); // interval = 100
+            let recorder = || Recorder(vec![Log::default(); n]);
+            let (stats_b, obs_b) =
+                System::new(cfg.clone(), Script::new(mk_events(seed)), recorder()).run();
+            let (stats_s, obs_s) =
+                System::new(cfg, Script::new(mk_events(seed)), recorder()).run_unbatched();
+            assert_eq!(stats_b, stats_s, "stats differ for seed {seed}");
+            assert_eq!(obs_b.0, obs_s.0, "observer streams differ for seed {seed}");
+            assert!(
+                obs_b.0.iter().all(|l| !l.intervals.is_empty()),
+                "test must exercise interval completion (seed {seed})"
+            );
+        }
     }
 
     #[test]

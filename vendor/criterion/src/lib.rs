@@ -1,7 +1,9 @@
 //! Offline stand-in for the subset of `criterion` 0.5 the workspace's
 //! benches use. It times each closure over `sample_size` samples and prints
 //! a `name ... median ns/iter` line — no statistics, plotting, or baseline
-//! comparison. See `vendor/README.md`.
+//! comparison. `cargo bench -- --test` runs each closure once without the
+//! timing loop, like real criterion's test mode (CI smoke). See
+//! `vendor/README.md`.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -58,11 +60,18 @@ impl Bencher {
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    /// `cargo bench -- --test` quick mode (as in real criterion): run every
+    /// bench closure once to prove it works, skip the timing loop.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        // Parsed here rather than in `configure_from_args` so the flag works
+        // for every bench target, including ones built with the plain
+        // `criterion_group!(name, targets...)` form.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { sample_size: 10, test_mode }
     }
 }
 
@@ -85,7 +94,12 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _parent: self,
+        }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(
@@ -93,10 +107,22 @@ impl Criterion {
         id: impl Display,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher { samples: self.sample_size, ns_per_iter: 0.0 };
-        f(&mut b);
-        println!("bench {:<50} {:>14.0} ns/iter", id.to_string(), b.ns_per_iter);
+        run_bench(id.to_string(), self.sample_size, self.test_mode, &mut f);
         self
+    }
+}
+
+/// Execute one bench closure and report it, honouring `--test` quick mode.
+fn run_bench<F: FnMut(&mut Bencher)>(name: String, samples: usize, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        samples: if test_mode { 1 } else { samples },
+        ns_per_iter: 0.0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test bench {name} ... ok");
+    } else {
+        println!("bench {name:<50} {:>14.0} ns/iter", b.ns_per_iter);
     }
 }
 
@@ -104,6 +130,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _parent: &'a mut Criterion,
 }
 
@@ -122,13 +149,7 @@ impl BenchmarkGroup<'_> {
         id: impl Display,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher { samples: self.sample_size, ns_per_iter: 0.0 };
-        f(&mut b);
-        println!(
-            "bench {:<50} {:>14.0} ns/iter",
-            format!("{}/{}", self.name, id),
-            b.ns_per_iter
-        );
+        run_bench(format!("{}/{}", self.name, id), self.sample_size, self.test_mode, &mut f);
         self
     }
 
@@ -138,12 +159,11 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher { samples: self.sample_size, ns_per_iter: 0.0 };
-        f(&mut b, input);
-        println!(
-            "bench {:<50} {:>14.0} ns/iter",
+        run_bench(
             format!("{}/{}", self.name, id),
-            b.ns_per_iter
+            self.sample_size,
+            self.test_mode,
+            &mut |b| f(b, input),
         );
         self
     }
