@@ -44,11 +44,14 @@ impl DetectorContext {
 
     /// Restore this snapshot into processor `proc` of a detector (the
     /// incoming thread's state replaces the outgoing one's). Buffers already
-    /// resident in the detector are reused rather than reallocated.
+    /// resident in the detector are reused rather than reallocated. Any
+    /// staleness state of a deadline-degraded gather is forgotten: cached
+    /// stale rows belong to the outgoing thread's access pattern.
     pub fn restore(&self, detector: &mut OnlineDetector, proc: usize) {
         let (bbv, _, tables) = detector.parts_mut();
         bbv[proc].copy_from(&self.accumulator);
         tables[proc].copy_from(&self.footprint);
+        detector.reset_staleness(proc);
     }
 
     /// The "clear on switch" alternative: fresh state sized like `self`.

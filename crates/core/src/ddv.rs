@@ -266,6 +266,132 @@ impl DdvState {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deadline-degraded row collection
+// ---------------------------------------------------------------------------
+
+/// Gathers `F_i` rows under a collection deadline, tolerating missing rows.
+///
+/// In a faulty system a remote node's `F_i` row may not reach the requester
+/// before the end-of-interval deadline (derived from the network's
+/// worst-case one-way latency plus the retry budget). The paper's gather is
+/// all-or-nothing; this collector implements the graceful fallback: a
+/// missing row is substituted by the *last row actually received* from that
+/// node, weighted down by its staleness — each consecutive miss halves the
+/// substituted counts (`row >> staleness`), so a long-silent node's stale
+/// contribution decays toward zero instead of freezing the contention
+/// vector `C` in the past.
+///
+/// The remote node keeps counting while silent (rows are only drained on a
+/// successful gather), so when it reappears its next row covers the whole
+/// silent window and `C` catches up; nothing is permanently lost.
+///
+/// Staleness is tracked per `(requester, source)` pair. The caller maps the
+/// maximum staleness among substituted rows to a classification decision
+/// (see `AvailabilityModel` in the detector: past a configurable bound the
+/// DDS is too stale to trust and classification degrades to BBV-only).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedCollector {
+    n: usize,
+    /// Last successfully received row, flattened `[requester][source][home]`.
+    last_rows: Vec<u64>,
+    /// Consecutive missed gathers, flattened `[requester][source]`.
+    staleness: Vec<u64>,
+    /// Rows substituted from stale caches, total.
+    substitutions: u64,
+    scratch: Vec<u64>,
+}
+
+impl DegradedCollector {
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            last_rows: vec![0; n * n * n],
+            staleness: vec![0; n * n],
+            substitutions: 0,
+            scratch: vec![0; n],
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total rows substituted from stale caches so far.
+    pub fn substitutions(&self) -> u64 {
+        self.substitutions
+    }
+
+    /// Consecutive misses of `source`'s row for `requester`'s gathers.
+    pub fn staleness(&self, requester: usize, source: usize) -> u64 {
+        self.staleness[requester * self.n + source]
+    }
+
+    /// Forget everything known on behalf of `requester` (context switch: an
+    /// incoming thread must not inherit the outgoing thread's stale rows).
+    pub fn reset_requester(&mut self, requester: usize) {
+        let n = self.n;
+        self.staleness[requester * n..(requester + 1) * n].fill(0);
+        self.last_rows[requester * n * n..(requester + 1) * n * n].fill(0);
+    }
+
+    /// End requester `i`'s interval against `ddv`. `arrived(q)` reports
+    /// whether node `q`'s row met the collection deadline (`q == i` is the
+    /// local row and never queried). Returns the maximum staleness among
+    /// substituted rows — 0 when every row arrived, in which case the sample
+    /// is bit-identical to [`DdvState::end_interval_into`].
+    pub fn end_interval_into(
+        &mut self,
+        ddv: &mut DdvState,
+        i: usize,
+        sample: &mut DdsSample,
+        mut arrived: impl FnMut(usize) -> bool,
+    ) -> u64 {
+        let n = self.n;
+        assert_eq!(n, ddv.n(), "collector and DDV state sized differently");
+        ddv.queries += 1;
+        sample.fvec.clear();
+        sample.fvec.resize(n, 0);
+        sample.cvec.clear();
+        sample.cvec.resize(n, 0);
+        let mut max_staleness = 0u64;
+        for q in 0..n {
+            if q == i {
+                ddv.mats[q].drain_row_into(i, &mut sample.fvec);
+                continue;
+            }
+            let st = &mut self.staleness[i * n + q];
+            if arrived(q) {
+                ddv.vectors_exchanged += 1;
+                *st = 0;
+                // Drain into a scratch row so the received counts can be
+                // cached before being folded into C.
+                self.scratch.fill(0);
+                ddv.mats[q].drain_row_into(i, &mut self.scratch);
+                let cache = &mut self.last_rows[(i * n + q) * n..(i * n + q + 1) * n];
+                cache.copy_from_slice(&self.scratch);
+                for (c, &r) in sample.cvec.iter_mut().zip(self.scratch.iter()) {
+                    *c += r;
+                }
+            } else {
+                *st += 1;
+                self.substitutions += 1;
+                max_staleness = max_staleness.max(*st);
+                let shift = (*st).min(63) as u32;
+                let cache = &self.last_rows[(i * n + q) * n..(i * n + q + 1) * n];
+                for (c, &r) in sample.cvec.iter_mut().zip(cache.iter()) {
+                    *c += r >> shift;
+                }
+            }
+        }
+        for (c, &f) in sample.cvec.iter_mut().zip(sample.fvec.iter()) {
+            *c += f;
+        }
+        sample.dds = DdvState::dds_of(&sample.fvec, ddv.dist_row(i), &sample.cvec);
+        max_staleness
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,5 +549,91 @@ mod tests {
         let s = d.end_interval(0);
         assert_eq!(s.fvec, vec![0, 0]);
         assert_eq!(s.dds, 0.0);
+    }
+
+    #[test]
+    fn degraded_collector_with_all_rows_matches_reference_gather() {
+        let mut a = DdvState::for_hypercube(4);
+        let mut b = DdvState::for_hypercube(4);
+        let mut coll = DegradedCollector::new(4);
+        let mut sample = DdsSample::empty();
+        let mut x = 11u64;
+        for step in 0..500 {
+            x = dsm_sim::util::splitmix64(x);
+            let p = (x % 4) as usize;
+            let home = ((x >> 8) % 4) as usize;
+            a.record_access(p, home);
+            b.record_access(p, home);
+            if step % 19 == 0 {
+                let i = ((x >> 16) % 4) as usize;
+                let st = coll.end_interval_into(&mut b, i, &mut sample, |_| true);
+                assert_eq!(st, 0);
+                assert_eq!(a.end_interval(i), sample, "at step {step}");
+            }
+        }
+        assert_eq!(coll.substitutions(), 0);
+        assert_eq!(a.queries(), b.queries());
+        assert_eq!(a.vectors_exchanged(), b.vectors_exchanged());
+    }
+
+    #[test]
+    fn missing_row_falls_back_to_stale_weighted_cache() {
+        let mut d = DdvState::for_hypercube(2);
+        let mut coll = DegradedCollector::new(2);
+        let mut sample = DdsSample::empty();
+        // Gather 1: node 1 answers with 8 accesses to home 0.
+        for _ in 0..8 {
+            d.record_access(1, 0);
+        }
+        coll.end_interval_into(&mut d, 0, &mut sample, |_| true);
+        assert_eq!(sample.cvec, vec![8, 0]);
+        // Gather 2: node 1 silent -> last row halved (8 >> 1 = 4).
+        let st = coll.end_interval_into(&mut d, 0, &mut sample, |_| false);
+        assert_eq!(st, 1);
+        assert_eq!(sample.cvec, vec![4, 0]);
+        // Gather 3: still silent -> quartered.
+        let st = coll.end_interval_into(&mut d, 0, &mut sample, |_| false);
+        assert_eq!(st, 2);
+        assert_eq!(sample.cvec, vec![2, 0]);
+        assert_eq!(coll.staleness(0, 1), 2);
+        assert_eq!(coll.substitutions(), 2);
+    }
+
+    #[test]
+    fn silent_node_counts_are_recovered_on_reappearance() {
+        let mut d = DdvState::for_hypercube(2);
+        let mut coll = DegradedCollector::new(2);
+        let mut sample = DdsSample::empty();
+        for _ in 0..4 {
+            d.record_access(1, 1);
+        }
+        coll.end_interval_into(&mut d, 0, &mut sample, |_| false); // missed
+        assert_eq!(sample.cvec, vec![0, 0], "no cache yet: nothing to substitute");
+        for _ in 0..3 {
+            d.record_access(1, 1);
+        }
+        // Node 1 answers: the row covers the whole silent window (4 + 3).
+        let st = coll.end_interval_into(&mut d, 0, &mut sample, |_| true);
+        assert_eq!(st, 0);
+        assert_eq!(sample.cvec, vec![0, 7]);
+        assert_eq!(coll.staleness(0, 1), 0, "staleness resets on arrival");
+    }
+
+    #[test]
+    fn reset_requester_clears_staleness_and_cache() {
+        let mut d = DdvState::for_hypercube(2);
+        let mut coll = DegradedCollector::new(2);
+        let mut sample = DdsSample::empty();
+        for _ in 0..8 {
+            d.record_access(1, 0);
+        }
+        coll.end_interval_into(&mut d, 0, &mut sample, |_| true);
+        coll.end_interval_into(&mut d, 0, &mut sample, |_| false);
+        assert_eq!(coll.staleness(0, 1), 1);
+        coll.reset_requester(0);
+        assert_eq!(coll.staleness(0, 1), 0);
+        let st = coll.end_interval_into(&mut d, 0, &mut sample, |_| false);
+        assert_eq!(st, 1);
+        assert_eq!(sample.cvec, vec![0, 0], "cache was cleared with the reset");
     }
 }

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use dsm_sim::observer::{IntervalStats, SimObserver};
 
 use crate::bbv::BbvAccumulator;
-use crate::ddv::{DdsSample, DdvState};
+use crate::ddv::{DdsSample, DdvState, DegradedCollector};
 use crate::footprint::FootprintTable;
 use crate::working_set::WsSignature;
 use crate::{DEFAULT_BBV_ENTRIES, DEFAULT_FOOTPRINT_VECTORS};
@@ -90,6 +90,55 @@ pub struct ClassifiedInterval {
     pub phase_id: u32,
     pub is_new_phase: bool,
     pub cpi: f64,
+    /// The DDS was too stale to trust (row staleness exceeded the
+    /// [`AvailabilityModel`] bound) and this interval was classified
+    /// BBV-only. Always false on a reliable system.
+    pub degraded: bool,
+}
+
+/// When and how remote DDV rows miss the end-of-interval collection
+/// deadline, and how stale a substituted row may be before classification
+/// stops trusting the DDS.
+///
+/// Misses are a pure seeded hash of `(requester, source, interval)` —
+/// deterministic, order-independent, and reproducible across runs. The
+/// deadline itself is time-budget-equivalent to
+/// `Network::max_one_way + RetryPolicy::worst_case_recovery_cycles`: a row
+/// either makes that budget (delivered, possibly after retries) or it
+/// escalated/failed and is modelled as missing here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AvailabilityModel {
+    /// Seed for the per-(requester, source, interval) miss draws.
+    pub seed: u64,
+    /// Probability (parts per million) that a remote row misses the
+    /// collection deadline.
+    pub miss_ppm: u32,
+    /// Staleness bound: a gather whose most-stale substituted row exceeds
+    /// this many consecutive misses degrades classification to BBV-only.
+    pub max_staleness: u64,
+}
+
+impl AvailabilityModel {
+    /// A fully reliable system: every row always arrives.
+    pub fn reliable() -> Self {
+        Self { seed: 0, miss_ppm: 0, max_staleness: 0 }
+    }
+
+    /// Whether `source`'s row misses `requester`'s gather for `interval`.
+    #[inline]
+    pub fn row_missed(&self, requester: usize, source: usize, interval: u64) -> bool {
+        if self.miss_ppm == 0 {
+            return false;
+        }
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let h = dsm_sim::util::splitmix64(
+            self.seed
+                ^ (requester as u64 + 1).wrapping_mul(PHI)
+                ^ (source as u64 + 1).rotate_left(32)
+                ^ interval.wrapping_mul(0xd134_2543_de82_ef95),
+        );
+        ((h % 1_000_000) as u32) < self.miss_ppm
+    }
 }
 
 /// Size knobs shared by the observers.
@@ -312,6 +361,9 @@ pub struct OnlineDetector {
     bbv: Vec<BbvAccumulator>,
     ddv: DdvState,
     tables: Vec<FootprintTable>,
+    /// Deadline-degraded row gathering; `None` on a reliable system (the
+    /// gather then takes the exact paper path with no staleness tracking).
+    availability: Option<(AvailabilityModel, DegradedCollector)>,
     /// Classified intervals, per processor, in order.
     pub classified: Vec<Vec<ClassifiedInterval>>,
     /// Reusable per-interval buffers: the end-of-interval hot path
@@ -335,10 +387,29 @@ impl OnlineDetector {
             bbv: (0..n_procs).map(|_| BbvAccumulator::new(geometry.bbv_entries)).collect(),
             ddv: DdvState::new(n_procs, dist),
             tables: (0..n_procs).map(|_| FootprintTable::new(geometry.footprint_vectors)).collect(),
+            availability: None,
             classified: vec![Vec::new(); n_procs],
             scratch_bbv: Vec::new(),
             scratch_sample: DdsSample::empty(),
         }
+    }
+
+    /// A detector whose DDV row gathers are subject to `model`'s collection
+    /// deadline. With `miss_ppm == 0` this behaves exactly like
+    /// [`OnlineDetector::new`].
+    pub fn with_availability(
+        n_procs: usize,
+        dist: Vec<f64>,
+        mode: DetectorMode,
+        thresholds: Thresholds,
+        geometry: DetectorGeometry,
+        model: AvailabilityModel,
+    ) -> Self {
+        let mut d = Self::new(n_procs, dist, mode, thresholds, geometry);
+        if model.miss_ppm > 0 {
+            d.availability = Some((model, DegradedCollector::new(n_procs)));
+        }
+        d
     }
 
     pub fn mode(&self) -> DetectorMode {
@@ -347,6 +418,24 @@ impl OnlineDetector {
 
     pub fn thresholds(&self) -> Thresholds {
         self.thresholds
+    }
+
+    /// The availability model in force, if any.
+    pub fn availability(&self) -> Option<&AvailabilityModel> {
+        self.availability.as_ref().map(|(m, _)| m)
+    }
+
+    /// Total DDV rows substituted from stale caches so far.
+    pub fn rows_substituted(&self) -> u64 {
+        self.availability.as_ref().map_or(0, |(_, c)| c.substitutions())
+    }
+
+    /// Forget processor `proc`'s staleness state (context switch: the
+    /// incoming thread must not inherit the outgoing thread's stale rows).
+    pub fn reset_staleness(&mut self, proc: usize) {
+        if let Some((_, c)) = &mut self.availability {
+            c.reset_requester(proc);
+        }
     }
 
     /// The footprint table of one processor (inspection / persistence).
@@ -379,10 +468,27 @@ impl SimObserver for OnlineDetector {
     }
 
     fn on_interval(&mut self, proc: usize, stats: IntervalStats) {
-        self.ddv.end_interval_into(proc, &mut self.scratch_sample);
+        let degraded = match &mut self.availability {
+            None => {
+                self.ddv.end_interval_into(proc, &mut self.scratch_sample);
+                false
+            }
+            Some((model, coll)) => {
+                let staleness = coll.end_interval_into(
+                    &mut self.ddv,
+                    proc,
+                    &mut self.scratch_sample,
+                    |q| !model.row_missed(proc, q, stats.index),
+                );
+                staleness > model.max_staleness
+            }
+        };
         self.bbv[proc].normalized_into(&mut self.scratch_bbv);
         let dds_thr = match self.mode {
             DetectorMode::Bbv => None,
+            // Past the staleness bound the DDS is untrustworthy:
+            // classification falls back to the uniprocessor BBV gate.
+            DetectorMode::BbvDdv if degraded => None,
             DetectorMode::BbvDdv => Some(self.thresholds.dds),
         };
         let m = self.tables[proc].classify(
@@ -397,6 +503,7 @@ impl SimObserver for OnlineDetector {
             phase_id: m.phase_id,
             is_new_phase: m.is_new,
             cpi: stats.cpi(),
+            degraded,
         });
         self.bbv[proc].reset();
     }

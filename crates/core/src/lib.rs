@@ -37,10 +37,10 @@ pub mod predictor;
 pub mod working_set;
 
 pub use bbv::BbvAccumulator;
-pub use ddv::{DdvState, FrequencyMatrix};
+pub use ddv::{DdvState, DegradedCollector, FrequencyMatrix};
 pub use detector::{
-    ClassifiedInterval, DetectorMode, IntervalRecord, OnlineDetector, Thresholds, TraceClassifier,
-    TraceCollector,
+    AvailabilityModel, ClassifiedInterval, DetectorMode, IntervalRecord, OnlineDetector,
+    Thresholds, TraceClassifier, TraceCollector,
 };
 pub use footprint::{FootprintTable, Match};
 pub use predictor::{LastPhasePredictor, Markov2Predictor, PhasePredictor, RlePredictor};

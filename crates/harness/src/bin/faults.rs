@@ -1,0 +1,36 @@
+//! Fault-injection robustness sweep: run every workload under increasing
+//! fault rates and report CoV-of-CPI degradation against the fault-free
+//! golden run, plus the conservation and termination evidence.
+//!
+//! Usage: `faults [seed]` (default seed 42). Artefacts: `faults.txt`
+//! (table) and `faults.json` (schema in EXPERIMENTS.md).
+
+use dsm_harness::faults::{fault_sweep, DEFAULT_RATES};
+use dsm_harness::json::Json;
+use dsm_harness::report;
+use dsm_workloads::App;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+
+    let mut out = String::new();
+    let mut sweeps = Vec::new();
+    for app in App::ALL {
+        let s = fault_sweep(app, 4, seed, &DEFAULT_RATES);
+        out.push_str(&s.render());
+        out.push('\n');
+        sweeps.push(s.to_json());
+    }
+    print!("{out}");
+
+    report::announce(&report::write_text("faults.txt", &out).expect("write table"));
+    let json = Json::obj()
+        .field("experiment", "fault_sweep")
+        .field("seed", seed)
+        .field("sweeps", Json::Arr(sweeps))
+        .to_string();
+    report::announce(&report::write_text("faults.json", &json).expect("write json"));
+}

@@ -15,6 +15,8 @@
 //!   <0.15 % of memory-controller bandwidth);
 //! * [`adaptive`] — the §II trial-and-error reconfiguration loop, to turn
 //!   CoV/phase-count numbers into end-to-end tuning cost;
+//! * [`faults`] — the fault-injection robustness sweep: CoV-of-CPI
+//!   degradation vs a fault-free golden run, with conservation checks;
 //! * [`parallel`] — the parallel experiment engine: a `--jobs` worker pool,
 //!   a content-addressed on-disk trace store, and structured run reports,
 //!   all with byte-identical serial/parallel output;
@@ -24,6 +26,7 @@
 
 pub mod adaptive;
 pub mod experiment;
+pub mod faults;
 pub mod figures;
 pub mod json;
 pub mod overhead;
@@ -35,6 +38,7 @@ pub mod tables;
 pub mod trace;
 
 pub use experiment::ExperimentConfig;
+pub use faults::{fault_sweep, FaultPoint, FaultSweep};
 pub use parallel::{capture_matrix, par_map, RunReport, TraceStore};
 pub use sweep::{bbv_curve, bbv_ddv_curve};
-pub use trace::{capture, SystemTrace};
+pub use trace::{capture, capture_with_faults, SystemTrace};

@@ -468,6 +468,7 @@ pub fn init_from_args() -> usize {
 mod codec {
     use dsm_phase::detector::IntervalRecord;
     use dsm_sim::directory::DirectoryStats;
+    use dsm_sim::fault::FaultStats;
     use dsm_sim::memctrl::MemCtrlStats;
     use dsm_sim::network::NetworkStats;
     use dsm_sim::stats::{ProcStats, SystemStats};
@@ -476,7 +477,8 @@ mod codec {
     use crate::experiment::ExperimentConfig;
     use crate::trace::SystemTrace;
 
-    const MAGIC: &[u8; 8] = b"DSMTRC1\n";
+    // v2: DirectoryStats.nacks + SystemStats.faults (fault injection).
+    const MAGIC: &[u8; 8] = b"DSMTRC2\n";
 
     fn app_code(app: App) -> u8 {
         match app {
@@ -679,6 +681,7 @@ mod codec {
             ref directory,
             ref network,
             ref memctrls,
+            ref faults,
             finish_cycle,
         } = trace.stats;
         w.u64(procs.len() as u64);
@@ -692,6 +695,7 @@ mod codec {
             invalidations,
             upgrades,
             writebacks,
+            nacks,
         } = *directory;
         for x in [
             reads,
@@ -700,6 +704,33 @@ mod codec {
             invalidations,
             upgrades,
             writebacks,
+            nacks,
+        ] {
+            w.u64(x);
+        }
+        let FaultStats {
+            messages,
+            drops,
+            retries,
+            forced_deliveries,
+            duplicates,
+            spikes,
+            spike_cycles,
+            timeout_wait_cycles,
+            slowdown_events,
+            slowdown_cycles,
+        } = *faults;
+        for x in [
+            messages,
+            drops,
+            retries,
+            forced_deliveries,
+            duplicates,
+            spikes,
+            spike_cycles,
+            timeout_wait_cycles,
+            slowdown_events,
+            slowdown_cycles,
         ] {
             w.u64(x);
         }
@@ -779,6 +810,19 @@ mod codec {
             invalidations: r.u64()?,
             upgrades: r.u64()?,
             writebacks: r.u64()?,
+            nacks: r.u64()?,
+        };
+        let faults = FaultStats {
+            messages: r.u64()?,
+            drops: r.u64()?,
+            retries: r.u64()?,
+            forced_deliveries: r.u64()?,
+            duplicates: r.u64()?,
+            spikes: r.u64()?,
+            spike_cycles: r.u64()?,
+            timeout_wait_cycles: r.u64()?,
+            slowdown_events: r.u64()?,
+            slowdown_cycles: r.u64()?,
         };
         let network = NetworkStats {
             msgs: r.u64()?,
@@ -807,6 +851,7 @@ mod codec {
                 directory,
                 network,
                 memctrls,
+                faults,
                 finish_cycle,
             },
             ddv_vectors_exchanged,
@@ -891,7 +936,7 @@ mod tests {
     fn corrupt_store_entries_are_misses() {
         let dir = std::env::temp_dir().join(format!("dsm-store-corrupt-{}", std::process::id()));
         let store = TraceStore::open(&dir).unwrap();
-        std::fs::write(store.dir().join("bad.trace"), b"DSMTRC1\n\x09garbage").unwrap();
+        std::fs::write(store.dir().join("bad.trace"), b"DSMTRC2\n\x09garbage").unwrap();
         assert!(store.load("bad").is_none());
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -47,6 +47,19 @@ pub fn capture(config: ExperimentConfig) -> SystemTrace {
     capture_with(config, config.system_config(), DetectorGeometry::default())
 }
 
+/// Capture under a fault plan: the same machine and workload as
+/// [`capture`], with `plan` driving the simulator's fault-injection layer.
+/// [`dsm_sim::config::FaultPlan::none`] yields a run bit-identical to the
+/// plain capture (the `fault_equivalence` differential suite asserts this).
+pub fn capture_with_faults(
+    config: ExperimentConfig,
+    plan: dsm_sim::config::FaultPlan,
+) -> SystemTrace {
+    let mut sys_cfg = config.system_config();
+    sys_cfg.fault = plan;
+    capture_with(config, sys_cfg, DetectorGeometry::default())
+}
+
 /// Capture with an explicit machine configuration and detector geometry
 /// (sensitivity studies: interval length, placement policy, accumulator and
 /// footprint-table sizes).

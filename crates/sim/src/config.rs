@@ -97,6 +97,159 @@ impl NetworkConfig {
     }
 }
 
+/// Retransmission policy for coherence messages lost to injected faults.
+///
+/// The requester arms a timer when it transmits; if the message (or its
+/// reply) is lost, the timer fires after `timeout_cycles` and the request is
+/// retransmitted with exponential backoff. After `max_retries` consecutive
+/// losses the transfer escalates to a reliable (acknowledged, high-priority)
+/// channel and is delivered unconditionally — this models the escalation
+/// path real DSM fabrics use and guarantees the protocol never livelocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Cycles the requester waits before the first retransmission.
+    pub timeout_cycles: u64,
+    /// Backoff cap: the per-attempt timeout doubles up to this many cycles.
+    pub max_backoff_cycles: u64,
+    /// Dropped attempts tolerated before escalating to reliable delivery.
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// Defaults sized to the Table I network: the timeout comfortably covers
+    /// a worst-case hypercube round trip plus memory service.
+    pub fn default_paper() -> Self {
+        Self { timeout_cycles: 600, max_backoff_cycles: 10_000, max_retries: 8 }
+    }
+
+    /// Timeout armed for retransmission attempt `attempt` (1-based count of
+    /// *failed* sends so far): exponential backoff, capped.
+    #[inline]
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        (self.timeout_cycles << shift).min(self.max_backoff_cycles).max(self.timeout_cycles)
+    }
+
+    /// Upper bound on the extra cycles fault recovery can add to one
+    /// message: every tolerated drop waits at most the backoff cap.
+    pub fn worst_case_recovery_cycles(&self) -> u64 {
+        self.max_retries as u64 * self.max_backoff_cycles.max(self.timeout_cycles)
+    }
+}
+
+/// Deterministic fault-injection plan for the DSM fabric.
+///
+/// All probabilities are in parts-per-million so the plan stays `Eq`/`Hash`
+/// and every decision reduces to integer comparisons against a seeded
+/// [`crate::util::splitmix64`] stream — two runs with the same plan and the
+/// same workload are bit-identical. [`FaultPlan::none`] disables the whole
+/// subsystem: the simulator then never consults the fault RNG and its output
+/// is bit-for-bit the fault-free build's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the per-message fault stream (and the per-epoch slowdown
+    /// hash). Same seed + same workload = same faults.
+    pub seed: u64,
+    /// Per-message drop probability (message lost in the fabric), ppm.
+    pub drop_ppm: u32,
+    /// Per-message duplication probability (a second copy arrives and is
+    /// NACKed by the home), ppm.
+    pub duplicate_ppm: u32,
+    /// Per-message latency-spike probability (transient link stall), ppm.
+    pub spike_ppm: u32,
+    /// Cycles one latency spike adds to the affected message.
+    pub spike_cycles: u64,
+    /// Per-(node, epoch) transient slowdown probability, ppm.
+    pub slowdown_ppm: u32,
+    /// Epoch length of the slowdown windows, in cycles.
+    pub slowdown_window_cycles: u64,
+    /// Extra exposed stall a slowed node pays on every L2 miss, as a
+    /// fraction of the raw miss latency in 1/256 units (integer arithmetic
+    /// like [`CoreConfig::stall_exposure_num`]).
+    pub slowdown_extra_num: u64,
+    /// Retransmission policy for lost messages.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, no RNG draws, bit-identical output to a
+    /// build without the fault subsystem.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_ppm: 0,
+            duplicate_ppm: 0,
+            spike_ppm: 0,
+            spike_cycles: 0,
+            slowdown_ppm: 0,
+            slowdown_window_cycles: 0,
+            slowdown_extra_num: 0,
+            retry: RetryPolicy::default_paper(),
+        }
+    }
+
+    /// A message-loss-only plan at `drop_rate` (fraction of messages lost).
+    pub fn drops(seed: u64, drop_rate: f64) -> Self {
+        Self { seed, drop_ppm: Self::ppm(drop_rate), ..Self::none() }
+    }
+
+    /// A mixed plan: drops, duplicates and spikes each at `rate`, plus
+    /// occasional node slowdowns — the harness fault-sweep's default shape.
+    pub fn mixed(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            drop_ppm: Self::ppm(rate),
+            duplicate_ppm: Self::ppm(rate),
+            spike_ppm: Self::ppm(rate),
+            spike_cycles: 400,
+            slowdown_ppm: Self::ppm(rate),
+            slowdown_window_cycles: 50_000,
+            slowdown_extra_num: 128, // +50 % exposed stall while slowed
+            ..Self::none()
+        }
+    }
+
+    fn ppm(rate: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+        (rate * 1_000_000.0).round() as u32
+    }
+
+    /// Whether any fault class can fire. False for [`FaultPlan::none`]-like
+    /// plans; the simulator then bypasses the fault layer entirely.
+    pub fn is_active(&self) -> bool {
+        self.drop_ppm > 0
+            || self.duplicate_ppm > 0
+            || self.spike_ppm > 0
+            || self.slowdown_ppm > 0
+    }
+
+    /// Validate internal consistency; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, ppm) in [
+            ("drop_ppm", self.drop_ppm),
+            ("duplicate_ppm", self.duplicate_ppm),
+            ("spike_ppm", self.spike_ppm),
+        ] {
+            if ppm > 1_000_000 {
+                return Err(format!("{name} {ppm} exceeds 1e6 (a probability)"));
+            }
+        }
+        if self.drop_ppm as u64 + self.duplicate_ppm as u64 + self.spike_ppm as u64 > 1_000_000 {
+            return Err("drop + duplicate + spike probabilities exceed 1".into());
+        }
+        if self.slowdown_ppm > 1_000_000 {
+            return Err("slowdown_ppm exceeds 1e6 (a probability)".into());
+        }
+        if self.slowdown_ppm > 0 && self.slowdown_window_cycles == 0 {
+            return Err("slowdown enabled but slowdown_window_cycles is 0".into());
+        }
+        if self.is_active() && self.retry.timeout_cycles == 0 {
+            return Err("retry timeout must be nonzero when faults are active".into());
+        }
+        Ok(())
+    }
+}
+
 /// Processor core configuration (cycle-accounting model).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CoreConfig {
@@ -149,6 +302,10 @@ pub struct SystemConfig {
     /// on each processor. The paper uses 3 M divided by the number of
     /// processors; constructors apply that division.
     pub interval_insns: u64,
+    /// Deterministic fault-injection plan ([`FaultPlan::none`] by default:
+    /// the fault layer is bypassed and output is bit-identical to a
+    /// fault-free build).
+    pub fault: FaultPlan,
 }
 
 impl SystemConfig {
@@ -201,6 +358,7 @@ impl SystemConfig {
             directory_cycles: 6,
             sync_cycles: 40,
             interval_insns: (interval_base / n_procs as u64).max(1),
+            fault: FaultPlan::none(),
         }
     }
 
@@ -260,6 +418,7 @@ impl SystemConfig {
         if self.interval_insns == 0 {
             return Err("interval length must be nonzero".into());
         }
+        self.fault.validate()?;
         Ok(())
     }
 }
@@ -329,6 +488,53 @@ mod tests {
         let two_hop = c.network.one_way(2, false);
         assert!(two_hop > one_hop);
         assert!(c.network.one_way(1, true) > one_hop);
+    }
+
+    #[test]
+    fn fault_plan_none_is_inactive_and_valid() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert!(p.validate().is_ok());
+        assert!(SystemConfig::paper(4).validate().is_ok());
+        assert_eq!(SystemConfig::paper(4).fault, FaultPlan::none());
+    }
+
+    #[test]
+    fn fault_plan_constructors_and_validation() {
+        let p = FaultPlan::drops(7, 0.01);
+        assert!(p.is_active());
+        assert_eq!(p.drop_ppm, 10_000);
+        assert_eq!(p.duplicate_ppm, 0);
+        assert!(p.validate().is_ok());
+
+        let m = FaultPlan::mixed(7, 0.001);
+        assert!(m.is_active());
+        assert!(m.validate().is_ok());
+        assert_eq!(m.drop_ppm, 1_000);
+        assert!(m.slowdown_window_cycles > 0);
+
+        let mut bad = FaultPlan::drops(0, 0.5);
+        bad.duplicate_ppm = 600_000; // 0.5 + 0.6 > 1
+        assert!(bad.validate().is_err());
+
+        let mut bad = FaultPlan::mixed(0, 0.01);
+        bad.slowdown_window_cycles = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = FaultPlan::drops(0, 0.01);
+        bad.retry.timeout_cycles = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let r = RetryPolicy { timeout_cycles: 100, max_backoff_cycles: 450, max_retries: 8 };
+        assert_eq!(r.backoff(1), 100);
+        assert_eq!(r.backoff(2), 200);
+        assert_eq!(r.backoff(3), 400);
+        assert_eq!(r.backoff(4), 450); // capped
+        assert_eq!(r.backoff(60), 450); // shift saturates, still capped
+        assert_eq!(r.worst_case_recovery_cycles(), 8 * 450);
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct DirectoryStats {
     pub invalidations: u64,
     pub upgrades: u64,
     pub writebacks: u64,
+    /// Duplicate request copies refused with a NACK (fault injection): the
+    /// home recognized an already-committed transaction's sequence number
+    /// and did not re-apply it, so `reads + writes` stays equal to the
+    /// number of logical coherence transactions even under duplication.
+    pub nacks: u64,
 }
 
 /// The (logically distributed) directory. Homes are a pure function of the
@@ -204,6 +209,13 @@ impl Directory {
         }
     }
 
+    /// The home received `n` duplicate copies of already-committed requests
+    /// and refused each with a NACK. Protocol state is untouched — dedup is
+    /// exactly what keeps duplicated messages from double-committing.
+    pub fn nack(&mut self, n: u32) {
+        self.stats.nacks += n as u64;
+    }
+
     /// Current directory state of a block (None = uncached).
     pub fn state(&self, block: u64) -> Option<DirState> {
         self.map.get(&block).copied()
@@ -322,6 +334,17 @@ mod tests {
         assert_eq!(d.state(12), Some(DirState::Shared(1 << 1)));
         d.writeback(12, 1);
         assert_eq!(d.state(12), None);
+    }
+
+    #[test]
+    fn nacks_count_without_touching_protocol_state() {
+        let mut d = Directory::new();
+        d.read(9, 1);
+        let before = d.state(9);
+        d.nack(3);
+        assert_eq!(d.state(9), before);
+        assert_eq!(d.stats().nacks, 3);
+        assert_eq!(d.stats().reads, 1, "a NACK is not a transaction");
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Deterministic fault injection at the network/directory boundary.
+//!
+//! Every coherence-protocol message the system sends passes through
+//! [`FaultState::deliver`], which draws a [`MsgFate`] from a seeded
+//! [`crate::util::splitmix64`] stream and resolves it with the
+//! retry-with-timeout state machine of [`resolve_delivery`]:
+//!
+//! * **Drop** — the message is lost; the requester's timer fires after the
+//!   [`RetryPolicy`] backoff and the message is retransmitted (each
+//!   retransmission consumes real network bandwidth). After `max_retries`
+//!   consecutive losses delivery escalates to a reliable channel and is
+//!   forced, so the protocol can never livelock.
+//! * **Duplicate** — a second copy arrives at the receiver. The home
+//!   detects the retransmission sequence number, refuses to re-commit the
+//!   request, and answers with a NACK ([`crate::directory::Directory`]
+//!   counts these); the duplicate therefore costs traffic but never
+//!   corrupts protocol state.
+//! * **Spike** — a transient link stall adds `spike_cycles` to this
+//!   message's latency.
+//!
+//! Independently, [`FaultState::slowdown_extra`] models transient node
+//! slowdowns: in seeded per-node epochs a node pays extra exposed stall on
+//! every L2 miss (a lagging core/NIC, DVFS dip, or co-scheduled daemon).
+//!
+//! Determinism: with a fixed [`FaultPlan`] and a deterministic workload the
+//! fate stream, and therefore the whole simulation, is bit-reproducible.
+//! With [`FaultPlan::none`] the layer is bypassed entirely — no RNG draw,
+//! no counter update, no latency change — so the fault-injection build is
+//! event-for-event identical to the pre-fault simulator (the
+//! `fault_equivalence` differential suite asserts this).
+
+use crate::config::{FaultPlan, RetryPolicy};
+use crate::network::Network;
+use crate::util::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// What the fabric does to one transmitted message copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgFate {
+    /// Delivered normally.
+    Deliver,
+    /// Lost; the sender's retry timer will fire.
+    Drop,
+    /// Delivered twice; the receiver NACKs the second copy.
+    Duplicate,
+    /// Delivered after a transient link stall.
+    Spike,
+}
+
+/// Per-fault-class counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Messages the fault layer processed (attempts, not transactions).
+    pub messages: u64,
+    /// Message copies lost in the fabric.
+    pub drops: u64,
+    /// Retransmissions triggered by retry timeouts.
+    pub retries: u64,
+    /// Deliveries forced through the reliable escalation path after
+    /// `max_retries` consecutive losses.
+    pub forced_deliveries: u64,
+    /// Duplicate copies delivered (each one is NACKed by the receiver).
+    pub duplicates: u64,
+    /// Transient link-latency spikes injected.
+    pub spikes: u64,
+    /// Total cycles added by latency spikes.
+    pub spike_cycles: u64,
+    /// Total cycles requesters spent waiting on retry timeouts.
+    pub timeout_wait_cycles: u64,
+    /// L2 misses that hit a node-slowdown window.
+    pub slowdown_events: u64,
+    /// Total extra stall cycles charged by node slowdowns.
+    pub slowdown_cycles: u64,
+}
+
+impl FaultStats {
+    /// True when no fault of any class fired.
+    pub fn is_clean(&self) -> bool {
+        *self == Self { messages: self.messages, ..Self::default() }
+    }
+}
+
+/// Outcome of delivering one protocol message through the faulty fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Total cycles from first transmission to successful delivery,
+    /// including retry timeouts and spikes.
+    pub latency: u64,
+    /// Transmission attempts (1 = delivered first try).
+    pub attempts: u32,
+    /// Duplicate copies the receiver must NACK.
+    pub duplicates: u32,
+    /// Whether delivery was forced through the reliable escalation path.
+    pub forced: bool,
+}
+
+/// Resolve one message's retry/backoff state machine.
+///
+/// Pure in the network and the randomness: `latency(t)` yields the one-way
+/// latency of a copy transmitted at absolute cycle `t` (and may record
+/// traffic), `fate(attempt)` yields the fabric's treatment of that copy.
+/// Property tests drive this with arbitrary drop/duplicate schedules to
+/// prove no request is lost or double-committed and every transfer
+/// terminates within the [`RetryPolicy`] budget.
+pub fn resolve_delivery(
+    policy: &RetryPolicy,
+    spike_cycles: u64,
+    now: u64,
+    mut latency: impl FnMut(u64) -> u64,
+    mut fate: impl FnMut(u32) -> MsgFate,
+) -> Delivery {
+    let mut t = now;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let lat = latency(t);
+        let drawn = fate(attempts);
+        // Past the retry budget the transfer has escalated to the reliable
+        // channel: the fabric may still duplicate or stall it, but cannot
+        // lose it.
+        let escalated = attempts > policy.max_retries;
+        let effective = if escalated && drawn == MsgFate::Drop { MsgFate::Deliver } else { drawn };
+        match effective {
+            MsgFate::Drop => {
+                debug_assert!(attempts <= policy.max_retries);
+                t += policy.backoff(attempts);
+            }
+            MsgFate::Deliver => {
+                return Delivery {
+                    latency: (t + lat) - now,
+                    attempts,
+                    duplicates: 0,
+                    forced: escalated && drawn == MsgFate::Drop,
+                };
+            }
+            MsgFate::Duplicate => {
+                // Both copies traverse the fabric; the first one commits,
+                // the second is NACKed at the receiver. Latency is the
+                // first copy's.
+                return Delivery { latency: (t + lat) - now, attempts, duplicates: 1, forced: false };
+            }
+            MsgFate::Spike => {
+                return Delivery {
+                    latency: (t + lat + spike_cycles) - now,
+                    attempts,
+                    duplicates: 0,
+                    forced: false,
+                };
+            }
+        }
+    }
+}
+
+/// Runtime state of the fault layer: the plan, the seeded fate stream, and
+/// the per-class counters.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    active: bool,
+    /// Monotone draw counter; the fate stream is `splitmix64(seed ⊕ φ·n)`.
+    draws: u64,
+    stats: FaultStats,
+}
+
+/// Golden-ratio increment decorrelating the draw counter from the seed.
+const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { active: plan.is_active(), plan, draws: 0, stats: FaultStats::default() }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether any fault class can fire. When false, every entry point is a
+    /// transparent pass-through that draws nothing and counts nothing.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    #[inline]
+    fn draw(&mut self) -> u64 {
+        self.draws += 1;
+        splitmix64(self.plan.seed ^ self.draws.wrapping_mul(PHI))
+    }
+
+    /// Draw the fate of one transmitted message copy.
+    fn draw_fate(&mut self) -> MsgFate {
+        let r = (self.draw() % 1_000_000) as u32;
+        if r < self.plan.drop_ppm {
+            MsgFate::Drop
+        } else if r < self.plan.drop_ppm + self.plan.duplicate_ppm {
+            MsgFate::Duplicate
+        } else if r < self.plan.drop_ppm + self.plan.duplicate_ppm + self.plan.spike_ppm {
+            MsgFate::Spike
+        } else {
+            MsgFate::Deliver
+        }
+    }
+
+    /// Deliver one protocol message `src → dst` through the faulty fabric,
+    /// transmitting (and re-transmitting) on the real network so every
+    /// attempt consumes link bandwidth. Returns the end-to-end delivery
+    /// outcome; the caller applies the protocol action exactly once.
+    pub fn deliver(
+        &mut self,
+        net: &mut Network,
+        src: usize,
+        dst: usize,
+        payload: bool,
+        now: u64,
+    ) -> Delivery {
+        if !self.active || src == dst {
+            // Transparent path: identical to the fault-free simulator.
+            return Delivery {
+                latency: net.send_at(src, dst, payload, now),
+                attempts: 1,
+                duplicates: 0,
+                forced: false,
+            };
+        }
+        let policy = self.plan.retry;
+        let spike = self.plan.spike_cycles;
+        // Split-borrow trick: fates come from `self`'s RNG, transmissions go
+        // to the network; stats are settled from the outcome afterwards.
+        let mut fates: Vec<MsgFate> = Vec::new();
+        let delivery = resolve_delivery(
+            &policy,
+            spike,
+            now,
+            |t| net.send_at(src, dst, payload, t),
+            |_| {
+                let f = self.draw_fate();
+                fates.push(f);
+                f
+            },
+        );
+        if delivery.duplicates > 0 {
+            // The duplicate copy consumes bandwidth too.
+            let _ = net.send_at(src, dst, payload, now + delivery.latency);
+        }
+        self.stats.messages += delivery.attempts as u64 + delivery.duplicates as u64;
+        for (i, f) in fates.iter().enumerate() {
+            let attempt = i as u32 + 1;
+            match f {
+                // A Drop on the final attempt only exists on the escalated
+                // path (resolve_delivery overrode it to a forced delivery);
+                // every earlier Drop lost a real copy and armed a timer.
+                MsgFate::Drop if attempt == delivery.attempts => self.stats.forced_deliveries += 1,
+                MsgFate::Drop => {
+                    self.stats.drops += 1;
+                    self.stats.retries += 1;
+                    self.stats.timeout_wait_cycles += policy.backoff(attempt);
+                }
+                MsgFate::Duplicate => self.stats.duplicates += 1,
+                MsgFate::Spike => {
+                    self.stats.spikes += 1;
+                    self.stats.spike_cycles += spike;
+                }
+                MsgFate::Deliver => {}
+            }
+        }
+        delivery
+    }
+
+    /// Extra exposed stall node `p` pays on an L2 miss at cycle `now`
+    /// (0 when the node is not inside a seeded slowdown window).
+    ///
+    /// Windows are a stateless hash of `(seed, node, epoch)` so repeated
+    /// queries within one epoch agree and runs are reproducible regardless
+    /// of query order.
+    #[inline]
+    pub fn slowdown_extra(&mut self, p: usize, now: u64, raw_stall: u64) -> u64 {
+        if !self.active || self.plan.slowdown_ppm == 0 {
+            return 0;
+        }
+        let epoch = now / self.plan.slowdown_window_cycles;
+        let h = splitmix64(self.plan.seed ^ (p as u64 + 1).wrapping_mul(PHI) ^ epoch.rotate_left(32));
+        if (h % 1_000_000) as u32 >= self.plan.slowdown_ppm {
+            return 0;
+        }
+        let extra = raw_stall * self.plan.slowdown_extra_num / 256;
+        self.stats.slowdown_events += 1;
+        self.stats.slowdown_cycles += extra;
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy { timeout_cycles: 100, max_backoff_cycles: 800, max_retries: 4 }
+    }
+
+    #[test]
+    fn clean_delivery_is_plain_latency() {
+        let d = resolve_delivery(&policy(), 50, 1000, |_| 70, |_| MsgFate::Deliver);
+        assert_eq!(d, Delivery { latency: 70, attempts: 1, duplicates: 0, forced: false });
+    }
+
+    #[test]
+    fn drops_accumulate_backoff_then_deliver() {
+        // Two drops then success: latency = backoff(1) + backoff(2) + lat.
+        let mut n = 0;
+        let d = resolve_delivery(
+            &policy(),
+            0,
+            0,
+            |_| 70,
+            |_| {
+                n += 1;
+                if n <= 2 { MsgFate::Drop } else { MsgFate::Deliver }
+            },
+        );
+        assert_eq!(d.attempts, 3);
+        assert!(!d.forced);
+        assert_eq!(d.latency, 100 + 200 + 70);
+    }
+
+    #[test]
+    fn all_drops_escalate_to_forced_delivery() {
+        let p = policy();
+        let d = resolve_delivery(&p, 0, 0, |_| 70, |_| MsgFate::Drop);
+        assert_eq!(d.attempts, p.max_retries + 1);
+        assert!(d.forced);
+        // Waited backoff(1..=max_retries), then the escalated copy lands.
+        let waits: u64 = (1..=p.max_retries).map(|a| p.backoff(a)).sum();
+        assert_eq!(d.latency, waits + 70);
+        assert!(d.latency <= p.worst_case_recovery_cycles() + 70);
+    }
+
+    #[test]
+    fn duplicate_and_spike_fates() {
+        let d = resolve_delivery(&policy(), 0, 0, |_| 70, |_| MsgFate::Duplicate);
+        assert_eq!((d.attempts, d.duplicates, d.latency), (1, 1, 70));
+        let d = resolve_delivery(&policy(), 300, 0, |_| 70, |_| MsgFate::Spike);
+        assert_eq!(d.latency, 370);
+    }
+
+    #[test]
+    fn latency_closure_sees_retransmission_times() {
+        // The retransmitted copy is injected later, so a time-dependent
+        // network (link contention) sees the true injection cycle.
+        let mut seen = Vec::new();
+        let mut n = 0;
+        let _ = resolve_delivery(
+            &policy(),
+            0,
+            1000,
+            |t| {
+                seen.push(t);
+                10
+            },
+            |_| {
+                n += 1;
+                if n == 1 { MsgFate::Drop } else { MsgFate::Deliver }
+            },
+        );
+        assert_eq!(seen, vec![1000, 1100]);
+    }
+
+    #[test]
+    fn inactive_state_is_transparent() {
+        let mut net = Network::new(SystemConfig::paper(8).network, 8);
+        let mut reference = Network::new(SystemConfig::paper(8).network, 8);
+        let mut f = FaultState::new(FaultPlan::none());
+        assert!(!f.active());
+        for (s, d, p, t) in [(0usize, 5usize, true, 10u64), (1, 1, false, 99), (7, 2, false, 0)] {
+            let del = f.deliver(&mut net, s, d, p, t);
+            assert_eq!(del.latency, reference.send_at(s, d, p, t));
+            assert_eq!(del.attempts, 1);
+        }
+        assert_eq!(net.stats(), reference.stats(), "no extra traffic");
+        assert_eq!(f.stats(), FaultStats::default(), "no counters ticked");
+        assert_eq!(f.slowdown_extra(3, 12345, 1000), 0);
+    }
+
+    #[test]
+    fn deliver_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = Network::new(SystemConfig::paper(8).network, 8);
+            let mut f = FaultState::new(FaultPlan::mixed(seed, 0.2));
+            let lats: Vec<u64> =
+                (0..200).map(|i| f.deliver(&mut net, i % 8, (i + 3) % 8, i % 2 == 0, i as u64 * 10).latency).collect();
+            (lats, f.stats())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds must differ");
+    }
+
+    #[test]
+    fn high_drop_rate_still_terminates_and_counts() {
+        let mut net = Network::new(SystemConfig::paper(4).network, 4);
+        let mut plan = FaultPlan::drops(9, 0.9);
+        plan.retry = policy();
+        let mut f = FaultState::new(plan);
+        for i in 0..300 {
+            let d = f.deliver(&mut net, 0, 1 + (i % 3), false, i as u64 * 50);
+            assert!(d.attempts <= f.plan().retry.max_retries + 1);
+            assert!(
+                d.latency <= f.plan().retry.worst_case_recovery_cycles() + net.latency(0, 3, false) + 1,
+                "latency {} beyond recovery budget",
+                d.latency
+            );
+        }
+        let s = f.stats();
+        assert!(s.drops > 0 && s.retries > 0, "90% drop must exercise retries: {s:?}");
+        assert!(s.forced_deliveries > 0, "some transfers must escalate");
+        assert_eq!(s.drops, s.retries);
+        assert!(s.timeout_wait_cycles > 0);
+    }
+
+    #[test]
+    fn retransmissions_consume_network_bandwidth() {
+        let mk = |rate| {
+            let mut net = Network::new(SystemConfig::paper(4).network, 4);
+            let mut f = FaultState::new(FaultPlan::drops(5, rate));
+            for i in 0..200 {
+                f.deliver(&mut net, 0, 1, true, i * 100);
+            }
+            net.stats().msgs
+        };
+        assert!(mk(0.5) > mk(0.0), "lost copies still cost traffic");
+    }
+
+    #[test]
+    fn slowdown_windows_are_stable_within_an_epoch() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 3;
+        plan.slowdown_ppm = 500_000;
+        plan.slowdown_window_cycles = 1_000;
+        plan.slowdown_extra_num = 128;
+        let mut f = FaultState::new(plan);
+        // Same (node, epoch) always answers the same.
+        let a = f.slowdown_extra(2, 1_500, 1000);
+        let b = f.slowdown_extra(2, 1_999, 1000);
+        assert_eq!(a, b);
+        // At 50% ppm some (node, epoch) pairs must be slowed and some not.
+        let hits = (0..200u64).filter(|e| f.slowdown_extra(1, e * 1_000, 256) > 0).count();
+        assert!(hits > 20 && hits < 180, "expected ~half the epochs slowed, got {hits}");
+        // Extra stall follows the 1/256 fraction.
+        let mut g = FaultState::new(plan);
+        let slowed_epoch = (0..100u64).find(|e| g.slowdown_extra(0, e * 1_000, 256) > 0).unwrap();
+        let mut h = FaultState::new(plan);
+        assert_eq!(h.slowdown_extra(0, slowed_epoch * 1_000, 512), 512 * 128 / 256);
+    }
+}

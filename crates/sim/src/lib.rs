@@ -32,6 +32,7 @@ pub mod cache;
 pub mod config;
 pub mod directory;
 pub mod event;
+pub mod fault;
 pub mod memctrl;
 pub mod network;
 pub mod observer;
@@ -42,7 +43,11 @@ pub mod system;
 pub mod util;
 
 pub use addr::{Addr, HomeMap, NodeId, BLOCK_BYTES, BLOCK_SHIFT, PAGE_BYTES, PAGE_SHIFT};
-pub use config::{CacheConfig, DistributionPolicy, MemoryConfig, NetworkConfig, SystemConfig};
+pub use config::{
+    CacheConfig, DistributionPolicy, FaultPlan, MemoryConfig, NetworkConfig, RetryPolicy,
+    SystemConfig,
+};
+pub use fault::{FaultState, FaultStats};
 pub use event::{Event, InstructionStream};
 pub use observer::{IntervalStats, NullObserver, SimObserver};
 pub use stats::{ProcStats, SystemStats};

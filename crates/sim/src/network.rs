@@ -128,6 +128,14 @@ impl Network {
         self.cfg.one_way(self.hops(a, b), payload)
     }
 
+    /// Worst-case uncontended one-way latency in this topology (a full
+    /// `dim`-hop traversal). The fault layer's retry-budget bounds and the
+    /// detector's row-collection deadline are both derived from this.
+    #[inline]
+    pub fn max_one_way(&self, payload: bool) -> u64 {
+        self.cfg.one_way(self.dim.max(1), payload)
+    }
+
     /// Distance matrix for the paper's DDV: `D[i][j]`, defined as 1 when
     /// `i == j` and `1 + hops(i, j)` otherwise, flattened row-major.
     ///
@@ -288,6 +296,18 @@ mod tests {
         let b = n.send_at(2, 3, true, 0);
         assert_eq!(a, b);
         assert_eq!(n.stats().link_wait_cycles, 0);
+    }
+
+    #[test]
+    fn max_one_way_bounds_every_pair() {
+        let mut n = net(16);
+        let bound = n.max_one_way(true);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert!(n.send_at(a, b, true, 0) <= bound);
+            }
+        }
+        assert_eq!(bound, n.latency(0, 15, true));
     }
 
     #[test]

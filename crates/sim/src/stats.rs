@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::directory::DirectoryStats;
+use crate::fault::FaultStats;
 use crate::memctrl::MemCtrlStats;
 use crate::network::NetworkStats;
 
@@ -66,6 +67,9 @@ pub struct SystemStats {
     pub directory: DirectoryStats,
     pub network: NetworkStats,
     pub memctrls: Vec<MemCtrlStats>,
+    /// Per-fault-class injection counters (all zero under
+    /// [`crate::config::FaultPlan::none`]).
+    pub faults: FaultStats,
     /// Global cycle at which the last processor finished.
     pub finish_cycle: u64,
 }
@@ -83,6 +87,15 @@ impl SystemStats {
         } else {
             self.total_insns() as f64 / self.finish_cycle as f64
         }
+    }
+
+    /// Coherence-transaction conservation: every L2 miss reaches the
+    /// directory exactly once, so under fault injection (drops retried,
+    /// duplicates NACKed) `reads + writes` must still equal the global L2
+    /// miss count — no transaction lost, none double-committed.
+    pub fn coherence_transactions_conserved(&self) -> bool {
+        let misses: u64 = self.procs.iter().map(|p| p.l2_misses).sum();
+        self.directory.reads + self.directory.writes == misses
     }
 
     /// Mean per-processor CPI.

@@ -13,6 +13,7 @@ use crate::addr::{block_of, HomeMap};
 use crate::config::SystemConfig;
 use crate::directory::{Directory, ReadSource};
 use crate::event::{Event, InstructionStream};
+use crate::fault::FaultState;
 use crate::memctrl::MemCtrl;
 use crate::network::Network;
 use crate::observer::{IntervalStats, SimObserver};
@@ -40,6 +41,9 @@ pub struct System<S: InstructionStream, O: SimObserver> {
     procs: Vec<Processor>,
     dir: Directory,
     net: Network,
+    /// Deterministic fault injection on every coherence message (a
+    /// transparent pass-through under [`crate::config::FaultPlan::none`]).
+    fault: FaultState,
     memctrls: Vec<MemCtrl>,
     homes: HomeMap,
     locks: FxHashMap<u32, LockState>,
@@ -70,6 +74,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             procs: (0..n).map(|i| Processor::new(i, &cfg)).collect(),
             dir: Directory::with_capacity(cfg.directory_capacity_hint()),
             net: Network::new(cfg.network, n),
+            fault: FaultState::new(cfg.fault),
             memctrls: (0..n).map(|_| MemCtrl::new(cfg.memory)).collect(),
             homes: HomeMap::new(cfg.distribution, n),
             locks: FxHashMap::with_capacity_and_hasher(
@@ -312,17 +317,43 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                     self.handle_writeback(p, victim);
                 }
                 let raw = self.cfg.l2.latency_cycles + self.coherence_stall(p, block, home, write);
+                let raw = raw + self.fault.slowdown_extra(p, self.procs[p].cycle, raw);
                 self.procs[p].charge_mem_stall(raw);
             }
         }
         home
     }
 
+    /// Deliver one protocol message through the fault layer; returns its
+    /// end-to-end latency (retries, spikes and duplicates resolved). With
+    /// faults inactive this is exactly [`Network::send_at`].
+    #[inline]
+    fn deliver_msg(&mut self, src: usize, dst: usize, payload: bool, now: u64) -> u64 {
+        self.fault.deliver(&mut self.net, src, dst, payload, now).latency
+    }
+
+    /// Deliver a *request* to a home node. On top of [`Self::deliver_msg`],
+    /// duplicate copies reaching the home are recognized by their
+    /// transaction sequence number and refused with a NACK header back to
+    /// the requester (traffic only — protocol state is applied exactly once
+    /// by the caller).
+    #[inline]
+    fn deliver_request(&mut self, src: usize, home: usize, now: u64) -> u64 {
+        let d = self.fault.deliver(&mut self.net, src, home, false, now);
+        if d.duplicates > 0 {
+            self.dir.nack(d.duplicates);
+            for _ in 0..d.duplicates {
+                self.net.send_at(home, src, false, now + d.latency + self.cfg.directory_cycles);
+            }
+        }
+        d.latency
+    }
+
     /// Resolve an L2 miss through the home directory; returns the raw
     /// (undiscounted) stall beyond the L2 lookup.
     fn coherence_stall(&mut self, p: usize, block: u64, home: usize, write: bool) -> u64 {
         let now = self.procs[p].cycle;
-        let req_lat = self.net.send_at(p, home, false, now);
+        let req_lat = self.deliver_request(p, home, now);
         let arrive = now + req_lat + self.cfg.directory_cycles;
 
         let (data_lat, inval_lat) = if write {
@@ -336,20 +367,20 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                 mask &= mask - 1;
                 self.procs[q].l1.invalidate(block);
                 self.procs[q].l2.invalidate(block);
-                let out = self.net.send_at(home, q, false, arrive);
-                let back = self.net.send_at(q, home, false, arrive + out);
+                let out = self.deliver_msg(home, q, false, arrive);
+                let back = self.deliver_msg(q, home, false, arrive + out);
                 inval_lat = inval_lat.max(out + back);
             }
             let data_lat = if let Some(owner) = o.owner_forward {
                 // Dirty owner forwards directly to the requester.
-                let fwd = self.net.send_at(home, owner, false, arrive);
-                fwd + self.net.send_at(owner, p, true, arrive + fwd)
+                let fwd = self.deliver_msg(home, owner, false, arrive);
+                fwd + self.deliver_msg(owner, p, true, arrive + fwd)
             } else if o.from_memory {
                 let svc = self.memctrls[home].request_block(block >> 5, arrive);
                 self.procs[p].stats.contention_cycles += svc.queue_delay;
                 let mem = svc.done_at - arrive;
                 let reply = if home != p {
-                    self.net.send_at(home, p, true, svc.done_at)
+                    self.deliver_msg(home, p, true, svc.done_at)
                 } else {
                     0
                 };
@@ -366,7 +397,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                     self.procs[p].stats.contention_cycles += svc.queue_delay;
                     let mem = svc.done_at - arrive;
                     let reply = if home != p {
-                        self.net.send_at(home, p, true, svc.done_at)
+                        self.deliver_msg(home, p, true, svc.done_at)
                     } else {
                         0
                     };
@@ -378,13 +409,13 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                     // the controller, off the critical path).
                     let was_dirty = self.procs[owner].l2.downgrade(block)
                         | self.procs[owner].l1.downgrade(block);
-                    let fwd = self.net.send_at(home, owner, false, arrive);
+                    let fwd = self.deliver_msg(home, owner, false, arrive);
                     if was_dirty {
                         let svc = self.memctrls[home].request_block(block >> 5, arrive + fwd);
                         let _ = svc; // bandwidth consumed; not on critical path
-                        self.net.send_at(owner, home, true, arrive + fwd);
+                        self.deliver_msg(owner, home, true, arrive + fwd);
                     }
-                    fwd + self.net.send_at(owner, p, true, arrive + fwd)
+                    fwd + self.deliver_msg(owner, p, true, arrive + fwd)
                 }
             };
             (data_lat, 0)
@@ -400,7 +431,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         let home = self.homes.home(block, p);
         let now = self.procs[p].cycle;
         if home != p {
-            self.net.send_at(p, home, true, now);
+            self.deliver_msg(p, home, true, now);
         }
         self.memctrls[home].request_block(block >> 5, now);
         self.dir.writeback(block, p);
@@ -493,7 +524,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         if let Some(q) = st.waiters.pop_front() {
             st.owner = Some(q);
             let now = self.procs[p].cycle;
-            let transfer = self.net.send_at(p, q, false, now);
+            let transfer = self.deliver_msg(p, q, false, now);
             let release_at = self.procs[p].cycle + transfer;
             let pr = &mut self.procs[q];
             let resume = release_at.max(pr.blocked_since);
@@ -515,6 +546,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             directory: self.dir.stats(),
             network: self.net.stats(),
             memctrls: self.memctrls.iter().map(|m| m.stats()).collect(),
+            faults: self.fault.stats(),
             finish_cycle: self.procs.iter().map(|p| p.cycle).max().unwrap_or(0),
         }
     }

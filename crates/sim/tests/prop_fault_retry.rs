@@ -1,0 +1,179 @@
+//! Property tests for the fault layer's retry-with-timeout state machine:
+//! under *arbitrary* drop/duplicate/spike schedules no request is lost or
+//! double-committed, and every delivery terminates within the
+//! [`RetryPolicy`] recovery budget.
+
+use proptest::prelude::*;
+
+use dsm_sim::config::{FaultPlan, RetryPolicy, SystemConfig};
+use dsm_sim::fault::{resolve_delivery, FaultState, MsgFate};
+use dsm_sim::network::Network;
+
+fn fate_strategy() -> impl Strategy<Value = MsgFate> {
+    (0..4u8).prop_map(|k| match k {
+        0 => MsgFate::Deliver,
+        1 => MsgFate::Drop,
+        2 => MsgFate::Duplicate,
+        _ => MsgFate::Spike,
+    })
+}
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (1u64..2_000, 0u64..20_000, 0u32..12).prop_map(|(timeout, cap, retries)| RetryPolicy {
+        timeout_cycles: timeout,
+        max_backoff_cycles: cap,
+        max_retries: retries,
+    })
+}
+
+/// Replay a schedule through the state machine, defaulting to `Deliver`
+/// once the schedule is exhausted (the fabric cannot misbehave forever).
+fn run_schedule(
+    policy: &RetryPolicy,
+    spike: u64,
+    now: u64,
+    lat: u64,
+    schedule: &[MsgFate],
+) -> (dsm_sim::fault::Delivery, u32) {
+    let mut commits = 0u32;
+    let d = resolve_delivery(
+        policy,
+        spike,
+        now,
+        |_| lat,
+        |attempt| {
+            let f = schedule
+                .get(attempt as usize - 1)
+                .copied()
+                .unwrap_or(MsgFate::Deliver);
+            // Every fate that ends the state machine commits the protocol
+            // action exactly once; count the terminal draws we hand out.
+            if f != MsgFate::Drop || attempt > policy.max_retries {
+                commits += 1;
+            }
+            f
+        },
+    );
+    (d, commits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No request is lost: the machine always returns, and it returns
+    /// having committed the protocol action exactly once — never zero
+    /// times (loss) and never twice (double commit). A duplicate copy is
+    /// flagged for the receiver to NACK instead of committing again.
+    #[test]
+    fn exactly_one_commit_under_arbitrary_schedules(
+        policy in policy_strategy(),
+        spike in 0u64..1_000,
+        now in 0u64..1_000_000,
+        lat in 1u64..500,
+        schedule in prop::collection::vec(fate_strategy(), 0..64),
+    ) {
+        let (d, commits) = run_schedule(&policy, spike, now, lat, &schedule);
+        prop_assert_eq!(commits, 1, "the terminal fate commits exactly once");
+        prop_assert!(d.duplicates <= 1, "at most one extra copy per delivery");
+        if d.duplicates == 1 {
+            // The duplicated copy must be flagged for a NACK, and the
+            // delivery itself is the ordinary (non-escalated) path.
+            prop_assert!(!d.forced);
+        }
+    }
+
+    /// Termination within the bounded cycle budget: attempts never exceed
+    /// `max_retries + 1`, and end-to-end latency never exceeds the policy's
+    /// worst-case recovery budget plus one transmission and one spike.
+    #[test]
+    fn termination_within_recovery_budget(
+        policy in policy_strategy(),
+        spike in 0u64..1_000,
+        now in 0u64..1_000_000,
+        lat in 1u64..500,
+        schedule in prop::collection::vec(fate_strategy(), 0..64),
+    ) {
+        let (d, _) = run_schedule(&policy, spike, now, lat, &schedule);
+        prop_assert!(d.attempts <= policy.max_retries + 1);
+        prop_assert!(
+            d.latency <= policy.worst_case_recovery_cycles() + lat + spike,
+            "latency {} beyond recovery budget {} (+{lat}+{spike})",
+            d.latency,
+            policy.worst_case_recovery_cycles()
+        );
+        // Forced deliveries exist only past the retry budget.
+        if d.forced {
+            prop_assert_eq!(d.attempts, policy.max_retries + 1);
+        }
+    }
+
+    /// The state machine is a pure function of the schedule: absolute start
+    /// time shifts latency bookkeeping but never the outcome shape.
+    #[test]
+    fn outcome_is_independent_of_start_time(
+        policy in policy_strategy(),
+        schedule in prop::collection::vec(fate_strategy(), 0..32),
+        t0 in 0u64..1_000_000,
+        t1 in 0u64..1_000_000,
+    ) {
+        let (a, _) = run_schedule(&policy, 100, t0, 70, &schedule);
+        let (b, _) = run_schedule(&policy, 100, t1, 70, &schedule);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Backoff is monotone in the attempt number and respects both the
+    /// floor (one timeout) and the configured cap.
+    #[test]
+    fn backoff_is_monotone_and_bounded(policy in policy_strategy()) {
+        let mut prev = 0u64;
+        for attempt in 1..=policy.max_retries.max(1) + 4 {
+            let b = policy.backoff(attempt);
+            prop_assert!(b >= policy.timeout_cycles, "backoff below one timeout");
+            prop_assert!(
+                b <= policy.max_backoff_cycles.max(policy.timeout_cycles),
+                "backoff above the cap"
+            );
+            prop_assert!(b >= prev, "backoff must not shrink with retries");
+            prev = b;
+        }
+    }
+
+    /// End-to-end through [`FaultState::deliver`] on a real network: for
+    /// arbitrary ppm mixes every delivery stays within the budget and the
+    /// counters reconcile (each drop armed exactly one retry, messages
+    /// cover every attempt and duplicate copy).
+    #[test]
+    fn fault_state_counters_reconcile(
+        seed in any::<u64>(),
+        drop_ppm in 0u32..400_000,
+        duplicate_ppm in 0u32..300_000,
+        spike_ppm in 0u32..300_000,
+        n_msgs in 1usize..120,
+    ) {
+        let mut plan = FaultPlan::none();
+        plan.seed = seed;
+        plan.drop_ppm = drop_ppm;
+        plan.duplicate_ppm = duplicate_ppm;
+        plan.spike_ppm = spike_ppm;
+        plan.spike_cycles = 300;
+        prop_assert!(plan.validate().is_ok());
+        let mut net = Network::new(SystemConfig::paper(8).network, 8);
+        let mut f = FaultState::new(plan);
+        let budget = plan.retry.worst_case_recovery_cycles()
+            + net.max_one_way(true)
+            + plan.spike_cycles;
+        let mut attempts = 0u64;
+        let mut dups = 0u64;
+        for i in 0..n_msgs {
+            let d = f.deliver(&mut net, i % 8, (i * 3 + 1) % 8, i % 2 == 0, i as u64 * 37);
+            prop_assert!(d.attempts <= plan.retry.max_retries + 1);
+            prop_assert!(d.latency <= budget, "latency {} > budget {budget}", d.latency);
+            attempts += d.attempts as u64;
+            dups += d.duplicates as u64;
+        }
+        let s = f.stats();
+        prop_assert_eq!(s.drops, s.retries, "each drop arms exactly one retry");
+        prop_assert_eq!(s.messages, attempts + dups, "every copy is accounted");
+        prop_assert_eq!(s.duplicates, dups);
+    }
+}

@@ -1,0 +1,129 @@
+//! The fault-injection layer must be a *transparent* addition: with
+//! [`FaultPlan::none`] the simulator draws no randomness, ticks no fault
+//! counter, and produces event-for-event identical output to the pre-fault
+//! build — same final machine statistics and the same per-processor
+//! interval-record (observer) streams, for every app in the bench matrix.
+//!
+//! With faults enabled the protocol must stay *correct*: at a 1 % drop rate
+//! on a 16-node machine every workload still completes, and the coherence
+//! conservation invariant (`directory.reads + writes == Σ l2_misses`)
+//! proves no transaction was lost to a drop or double-committed by a
+//! duplicate.
+
+use dsm_phase_detection::harness::trace::capture_with_faults;
+use dsm_phase_detection::prelude::*;
+use dsm_phase_detection::sim::FaultPlan;
+
+/// Seed the faulty plans draw their fate streams from. CI's `fault-matrix`
+/// job sweeps this via the `FAULT_SEED` environment variable; every
+/// invariant below must hold for *any* seed.
+fn seed() -> u64 {
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+#[test]
+fn empty_fault_plan_is_event_for_event_identical() {
+    for app in App::ALL {
+        for n in [2usize, 8] {
+            let cfg = ExperimentConfig::test(app, n);
+            let plain = capture(cfg);
+            let gated = capture_with_faults(cfg, FaultPlan::none());
+            assert_eq!(
+                plain.stats,
+                gated.stats,
+                "{} x{n}: FaultPlan::none() perturbed machine statistics",
+                app.name()
+            );
+            assert_eq!(
+                plain.records,
+                gated.records,
+                "{} x{n}: FaultPlan::none() perturbed the observer stream",
+                app.name()
+            );
+            assert_eq!(
+                plain.ddv_vectors_exchanged,
+                gated.ddv_vectors_exchanged,
+                "{} x{n}: FaultPlan::none() perturbed DDV traffic",
+                app.name()
+            );
+            assert!(
+                gated.stats.faults.is_clean(),
+                "{} x{n}: no fault counter may tick under the empty plan",
+                app.name()
+            );
+            assert_eq!(gated.stats.directory.nacks, 0);
+        }
+    }
+}
+
+#[test]
+fn faulty_runs_are_deterministic_per_seed() {
+    let s = seed();
+    let cfg = ExperimentConfig::test(App::Equake, 4);
+    let a = capture_with_faults(cfg, FaultPlan::mixed(s, 0.02));
+    let b = capture_with_faults(cfg, FaultPlan::mixed(s, 0.02));
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.records, b.records);
+    // A different seed must actually change the fate stream.
+    let c = capture_with_faults(cfg, FaultPlan::mixed(s ^ 1, 0.02));
+    assert_ne!(a.stats, c.stats, "seeds {s} and {} drew identical fates", s ^ 1);
+}
+
+#[test]
+fn one_percent_drops_at_16_nodes_complete_and_conserve() {
+    for app in App::ALL {
+        let cfg = ExperimentConfig::test(app, 16);
+        let trace = capture_with_faults(cfg, FaultPlan::drops(seed(), 0.01));
+        let stats = &trace.stats;
+        // Completion: the run terminated (no livelock) and every processor
+        // kept producing intervals under faults.
+        assert!(stats.finish_cycle > 0, "{}: run did not finish", app.name());
+        assert!(
+            trace.min_intervals() >= 1,
+            "{}: a processor produced no intervals under faults",
+            app.name()
+        );
+        // Zero lost or duplicated coherence transactions.
+        assert!(
+            stats.coherence_transactions_conserved(),
+            "{} 16P @ 1% drops: reads {} + writes {} != Σ l2 misses {}",
+            app.name(),
+            stats.directory.reads,
+            stats.directory.writes,
+            stats.procs.iter().map(|p| p.l2_misses).sum::<u64>()
+        );
+        // The fault layer really fired.
+        assert!(
+            stats.faults.drops > 0,
+            "{}: a 1% drop rate at 16 nodes must lose messages",
+            app.name()
+        );
+        assert_eq!(
+            stats.faults.drops, stats.faults.retries,
+            "{}: every dropped copy must arm exactly one retry",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn duplicates_are_nacked_never_recommitted() {
+    // Duplicate-heavy plan: every duplicate copy must be answered with a
+    // NACK at the home and must not commit a second protocol action.
+    let cfg = ExperimentConfig::test(App::Lu, 8);
+    let mut plan = FaultPlan::none();
+    plan.seed = seed();
+    plan.duplicate_ppm = 20_000; // 2 % of copies duplicated
+    let trace = capture_with_faults(cfg, plan);
+    let stats = &trace.stats;
+    assert!(stats.faults.duplicates > 0, "2% duplication must fire");
+    // Duplicated *requests* are NACKed at the home; duplicates of other
+    // message classes (invalidations, data replies) are simply discarded by
+    // the receiver, so NACKs are a nonzero subset of all duplicate copies.
+    assert!(stats.directory.nacks > 0, "duplicated requests must be NACKed");
+    assert!(stats.directory.nacks <= stats.faults.duplicates);
+    assert!(stats.coherence_transactions_conserved());
+}

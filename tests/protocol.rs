@@ -1,8 +1,9 @@
 //! System-level checks of the paper's DDV protocol (§III-B) on real
 //! simulated runs: counter conservation, contention-vector dominance, and
-//! the interval-scaling rule.
+//! the interval-scaling rule — plus the scheduler's deadlock diagnostic.
 
 use dsm_phase_detection::prelude::*;
+use dsm_phase_detection::sim::{Event, InstructionStream, NullObserver};
 
 #[test]
 fn fvec_conserves_committed_accesses() {
@@ -74,6 +75,60 @@ fn interval_length_follows_paper_scaling() {
         assert!(
             (3.0..6.0).contains(&ratio),
             "interval length must shrink ~4x from 2P to 8P, got {ratio}"
+        );
+    }
+}
+
+/// A malformed workload: processor 0 arrives at a barrier no other
+/// processor ever reaches, then everyone else ends.
+struct UnmatchedBarrier {
+    emitted: Vec<usize>,
+}
+
+impl InstructionStream for UnmatchedBarrier {
+    fn n_procs(&self) -> usize {
+        self.emitted.len()
+    }
+
+    fn next(&mut self, proc: usize) -> Event {
+        let step = self.emitted[proc];
+        self.emitted[proc] += 1;
+        match (proc, step) {
+            (_, 0) => Event::Block { bb: 1, insns: 10, taken: false },
+            (0, 1) => Event::Barrier { id: 7 },
+            _ => Event::End,
+        }
+    }
+}
+
+#[test]
+fn deadlock_diagnostic_fires_instead_of_hanging() {
+    // Regression for the scheduler's #[cold] no-runnable-processor path: a
+    // workload with an unmatched barrier must abort with a diagnostic
+    // naming the blocked processors, not spin or hang forever.
+    let run = |batched: bool| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let cfg = dsm_phase_detection::sim::SystemConfig::paper(2);
+            let stream = UnmatchedBarrier { emitted: vec![0; 2] };
+            let system = System::new(cfg, stream, NullObserver);
+            if batched {
+                system.run()
+            } else {
+                system.run_unbatched()
+            }
+        }))
+    };
+    for batched in [true, false] {
+        let err = run(batched).expect_err("unmatched barrier must not complete");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("deadlock") && msg.contains("[0]"),
+            "batched={batched}: diagnostic must name the deadlock and the \
+             blocked processor, got: {msg}"
         );
     }
 }
