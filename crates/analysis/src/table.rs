@@ -34,6 +34,15 @@ impl Table {
         self.rows.len()
     }
 
+    /// A titled two-column key/value table (metric summaries, run reports).
+    pub fn kv<S: Into<String>>(title: S, pairs: &[(String, String)]) -> Self {
+        let mut t = Table::new(vec!["metric", "value"]).with_title(title);
+        for (k, v) in pairs {
+            t.row(vec![k.clone(), v.clone()]);
+        }
+        t
+    }
+
     /// Render with box-drawing rules.
     pub fn render(&self) -> String {
         let ncols = self.headers.len();
@@ -101,6 +110,18 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn kv_builds_two_column_table() {
+        let t = Table::kv(
+            "summary",
+            &[("sim/events".to_string(), "12".to_string())],
+        );
+        let s = t.render();
+        assert!(s.starts_with("summary\n"));
+        assert!(s.contains("| sim/events | 12    |"));
+        assert_eq!(t.n_rows(), 1);
     }
 
     #[test]

@@ -52,3 +52,29 @@ pub fn allocs_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
     let out = f();
     (out, allocations() - before)
 }
+
+/// Publish the process-wide allocation counters into a metrics registry,
+/// replacing the ad-hoc printf path of the bench binaries.
+pub fn publish(reg: &mut dsm_telemetry::MetricsRegistry) {
+    reg.counter_add("bench/alloc/allocations", allocations());
+    reg.counter_add("bench/alloc/bytes", allocated_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn publish_mirrors_counters() {
+        let mut reg = dsm_telemetry::MetricsRegistry::new();
+        super::publish(&mut reg);
+        // Without the registered global allocator both counters sit at the
+        // current process-wide values (zero in unit tests).
+        assert_eq!(
+            reg.counter_value("bench/alloc/allocations"),
+            Some(super::allocations())
+        );
+        assert_eq!(
+            reg.counter_value("bench/alloc/bytes"),
+            Some(super::allocated_bytes())
+        );
+    }
+}

@@ -156,6 +156,15 @@ fn compare(path: &Path) -> ExitCode {
         "steady-state allocs per classified interval: {}",
         m.allocs_per_interval
     );
+    // Whole-process allocation counters, served by the telemetry registry
+    // (same counters the harness exporters dump as JSONL).
+    let mut reg = dsm_telemetry::MetricsRegistry::new();
+    dsm_bench::alloc_track::publish(&mut reg);
+    println!(
+        "process heap traffic: {} allocations, {} bytes",
+        reg.counter_value("bench/alloc/allocations").unwrap_or(0),
+        reg.counter_value("bench/alloc/bytes").unwrap_or(0)
+    );
     ExitCode::SUCCESS
 }
 

@@ -258,6 +258,14 @@ impl DdvState {
         self.vectors_exchanged
     }
 
+    /// Mirror the gather counters into a metrics registry under `prefix`
+    /// (e.g. `detector/ddv`) — the same numbers the §III-B overhead model
+    /// consumes, now reportable alongside every other run metric.
+    pub fn publish_metrics(&self, prefix: &str, reg: &mut dsm_telemetry::MetricsRegistry) {
+        reg.counter_add(&format!("{prefix}/queries"), self.queries);
+        reg.counter_add(&format!("{prefix}/vectors_exchanged"), self.vectors_exchanged);
+    }
+
     /// Reset all counters (context switch).
     pub fn clear(&mut self) {
         for m in &mut self.mats {

@@ -21,6 +21,7 @@ use dsm_sim::observer::{IntervalStats, SimObserver};
 use crate::bbv::BbvAccumulator;
 use crate::ddv::{DdsSample, DdvState, DegradedCollector};
 use crate::footprint::FootprintTable;
+use crate::telem::{DetectorProbes, DetectorTelemetry, MetricsRegistry, Snapshot};
 use crate::working_set::WsSignature;
 use crate::{DEFAULT_BBV_ENTRIES, DEFAULT_FOOTPRINT_VECTORS};
 
@@ -371,6 +372,12 @@ pub struct OnlineDetector {
     /// in steady state.
     scratch_bbv: Vec<f64>,
     scratch_sample: DdsSample,
+    /// Telemetry recorder (no-op stub unless the `telemetry` feature is on).
+    telem: DetectorTelemetry,
+    probes: DetectorProbes,
+    /// Cumulative interval cycles per processor — the timestamp base for
+    /// classification spans (one plain add per *interval*, not per event).
+    cum_cycles: Vec<u64>,
 }
 
 impl OnlineDetector {
@@ -381,6 +388,8 @@ impl OnlineDetector {
         thresholds: Thresholds,
         geometry: DetectorGeometry,
     ) -> Self {
+        let mut telem = DetectorTelemetry::new(n_procs);
+        let probes = DetectorProbes::register(&mut telem, n_procs);
         Self {
             mode,
             thresholds,
@@ -391,6 +400,9 @@ impl OnlineDetector {
             classified: vec![Vec::new(); n_procs],
             scratch_bbv: Vec::new(),
             scratch_sample: DdsSample::empty(),
+            telem,
+            probes,
+            cum_cycles: vec![0; n_procs],
         }
     }
 
@@ -448,6 +460,35 @@ impl OnlineDetector {
         self.classified[proc].last().map(|c| c.phase_id)
     }
 
+    /// Telemetry recorded so far (empty unless the `telemetry` feature is
+    /// on): per-processor `classify` span tracks and outcome counters.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.telem.snapshot()
+    }
+
+    /// Mirror the detector's outcome statistics into a metrics registry
+    /// under the `detector/` namespace. Always available (independent of
+    /// the `telemetry` feature): the counts are recomputed from
+    /// [`OnlineDetector::classified`], so harness-level reporting can fold
+    /// any detector run into a registry. This is the registry path for the
+    /// PR 3 degradation events that were previously only per-interval
+    /// booleans on [`ClassifiedInterval`].
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        let mut intervals = 0u64;
+        let mut new_phases = 0u64;
+        let mut degraded = 0u64;
+        for c in self.classified.iter().flatten() {
+            intervals += 1;
+            new_phases += c.is_new_phase as u64;
+            degraded += c.degraded as u64;
+        }
+        reg.counter_add("detector/intervals", intervals);
+        reg.counter_add("detector/new_phases", new_phases);
+        reg.counter_add("detector/degraded_intervals", degraded);
+        reg.counter_add("detector/rows_substituted", self.rows_substituted());
+        self.ddv.publish_metrics("detector/ddv", reg);
+    }
+
     /// Access to mutable internals for context save/restore.
     pub(crate) fn parts_mut(
         &mut self,
@@ -497,6 +538,18 @@ impl SimObserver for OnlineDetector {
             self.thresholds.bbv,
             dds_thr,
         );
+        // Classification span on the processor's cumulative interval clock
+        // (covers the interval just classified), plus outcome counters.
+        let start = self.cum_cycles[proc];
+        self.cum_cycles[proc] += stats.cycles;
+        self.telem.span(proc, self.probes.classify, start, stats.cycles);
+        self.telem.add(self.probes.intervals, 1);
+        if m.is_new {
+            self.telem.add(self.probes.new_phases, 1);
+        }
+        if degraded {
+            self.telem.add(self.probes.degraded, 1);
+        }
         self.classified[proc].push(ClassifiedInterval {
             proc,
             index: stats.index,
@@ -677,6 +730,44 @@ mod tests {
         (0..n)
             .map(|j| if i == j { 1.0 } else { 1.0 + ((i ^ j) as u64).count_ones() as f64 })
             .collect()
+    }
+
+    #[test]
+    fn publish_metrics_counts_classification_outcomes() {
+        let mut d = OnlineDetector::new(
+            1,
+            vec![1.0],
+            DetectorMode::Bbv,
+            Thresholds::bbv_only(0.5),
+            DetectorGeometry::default(),
+        );
+        drive(&mut d, 0, 7, &[0], 0);
+        drive(&mut d, 0, 7, &[0], 1);
+        drive(&mut d, 0, 99, &[0], 2);
+        let mut reg = MetricsRegistry::new();
+        d.publish_metrics(&mut reg);
+        assert_eq!(reg.counter_value("detector/intervals"), Some(3));
+        assert_eq!(reg.counter_value("detector/new_phases"), Some(2));
+        assert_eq!(reg.counter_value("detector/degraded_intervals"), Some(0));
+        assert_eq!(reg.counter_value("detector/rows_substituted"), Some(0));
+        assert_eq!(reg.counter_value("detector/ddv/queries"), Some(3));
+
+        let snap = d.telemetry_snapshot();
+        if cfg!(feature = "telemetry") {
+            assert!(snap.enabled);
+            assert_eq!(snap.tracks.len(), 1);
+            assert_eq!(snap.tracks[0].spans.len(), 3, "one classify span per interval");
+            // The registry's live counters agree with the recomputed ones.
+            let live = snap
+                .metrics
+                .iter()
+                .find(|m| m.name == "detector/new_phases")
+                .expect("live counter");
+            assert_eq!(live.value, dsm_telemetry::MetricValue::Counter(2));
+        } else {
+            assert!(!snap.enabled);
+            assert!(snap.tracks.is_empty());
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod detector;
 pub mod distance;
 pub mod footprint;
 pub mod predictor;
+pub mod telem;
 pub mod working_set;
 
 pub use bbv::BbvAccumulator;

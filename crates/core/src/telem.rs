@@ -1,0 +1,48 @@
+//! Telemetry selection shim for the detectors — same pattern as
+//! [`dsm_sim::telem`]: the `telemetry` cargo feature picks the real
+//! recorder or the zero-sized no-op stub, and the instrumentation in
+//! [`crate::detector`] is written once against the shared API.
+//!
+//! The online detector allocates one span track per processor: each
+//! end-of-interval classification (DDV gather + BBV normalization +
+//! footprint-table lookup) becomes a `classify` span covering the interval
+//! it classified, timestamped on the processor's cumulative interval
+//! clock. Degraded (BBV-only fallback) classifications and new-phase
+//! allocations are counted in the registry.
+
+#[cfg(feature = "telemetry")]
+pub use dsm_telemetry::Telemetry as DetectorTelemetry;
+#[cfg(not(feature = "telemetry"))]
+pub use dsm_telemetry::stub::Telemetry as DetectorTelemetry;
+
+pub use dsm_telemetry::{MetricsRegistry, Snapshot};
+
+use dsm_telemetry::{CounterId, NameId};
+
+/// Pre-interned probe ids for the online detector's hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorProbes {
+    /// Span name for per-interval classifications.
+    pub classify: NameId,
+    /// Intervals classified (all modes).
+    pub intervals: CounterId,
+    /// Classifications that allocated a new phase id.
+    pub new_phases: CounterId,
+    /// Classifications degraded to BBV-only by DDV staleness.
+    pub degraded: CounterId,
+}
+
+impl DetectorProbes {
+    /// Register every probe and label the per-processor tracks.
+    pub fn register(telem: &mut DetectorTelemetry, n_procs: usize) -> Self {
+        for p in 0..n_procs {
+            telem.set_track_name(p, &format!("detector p{p}"));
+        }
+        Self {
+            classify: telem.intern("classify"),
+            intervals: telem.counter("detector/intervals"),
+            new_phases: telem.counter("detector/new_phases"),
+            degraded: telem.counter("detector/degraded_intervals"),
+        }
+    }
+}

@@ -408,6 +408,58 @@ mod tests {
     }
 
     #[test]
+    fn behaviour_bins_are_half_integer_cpi() {
+        // behaviour_of quantizes CPI to half-integers: bucket = round(2·cpi).
+        assert_eq!(behaviour_of(0.0), 0);
+        assert_eq!(behaviour_of(0.24), 0);
+        assert_eq!(behaviour_of(0.25), 1); // round-half-away-from-zero
+        assert_eq!(behaviour_of(0.5), 1);
+        assert_eq!(behaviour_of(0.74), 1);
+        assert_eq!(behaviour_of(0.75), 2);
+        assert_eq!(behaviour_of(1.0), 2);
+        assert_eq!(behaviour_of(4.0), 8);
+        // Negative CPI cannot occur, but the bucket clamps instead of
+        // wrapping through the u64 cast.
+        assert_eq!(behaviour_of(-3.0), 0);
+    }
+
+    #[test]
+    fn vs_oracle_with_zero_cycle_oracle_is_neutral() {
+        let out = TuningOutcome {
+            total_intervals: 0,
+            tuning_intervals: 0,
+            tuned_cycles: 123.0,
+            oracle_cycles: 0.0,
+            untuned_cycles: 0.0,
+        };
+        assert_eq!(out.vs_oracle(), 1.0);
+        assert_eq!(out.speedup_vs_untuned(), 0.0);
+    }
+
+    #[test]
+    fn tuning_interval_count_scales_with_policy() {
+        // One phase pays exactly n_configs × trials_per_config exploratory
+        // intervals before locking.
+        let stream = constant_stream(0, 1.0, 100);
+        let pol = TuningPolicy {
+            n_configs: 3,
+            trials_per_config: 2,
+        };
+        let out = run_tuning(&stream, pol);
+        assert_eq!(out.tuning_intervals, 6);
+        assert_eq!(out.total_intervals, 100);
+    }
+
+    #[test]
+    fn predicted_tuning_on_empty_stream_is_neutral() {
+        let mut pred = LastPhasePredictor::new();
+        let out = run_tuning_predicted(&[], TuningPolicy::default(), &mut pred);
+        assert_eq!(out.total_intervals, 0);
+        assert_eq!(out.tuning_intervals, 0);
+        assert_eq!(out.vs_oracle(), 1.0);
+    }
+
+    #[test]
     fn multiplier_surface_is_deterministic_and_bounded() {
         for b in 0..20u64 {
             let mut best = f64::INFINITY;

@@ -2,19 +2,30 @@
 //! fault rates and report CoV-of-CPI degradation against the fault-free
 //! golden run, plus the conservation and termination evidence.
 //!
-//! Usage: `faults [seed]` (default seed 42). Artefacts: `faults.txt`
-//! (table) and `faults.json` (schema in EXPERIMENTS.md).
+//! Usage: `faults [seed] [--telemetry-out <dir>]` (default seed 42).
+//! Artefacts: `faults.txt` (table) and `faults.json` (schema in
+//! EXPERIMENTS.md); with `--telemetry-out`, one Chrome-trace / metrics /
+//! summary triple per workload (telemetry schema also in EXPERIMENTS.md).
 
 use dsm_harness::faults::{fault_sweep, DEFAULT_RATES};
 use dsm_harness::json::Json;
-use dsm_harness::report;
-use dsm_workloads::App;
+use dsm_harness::{report, telemetry};
+use dsm_workloads::{App, Scale};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 42;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--telemetry-out" {
+            i += 2; // flag plus its directory value
+            continue;
+        }
+        if !args[i].starts_with("--") {
+            seed = args[i].parse().expect("seed must be an integer");
+        }
+        i += 1;
+    }
 
     let mut out = String::new();
     let mut sweeps = Vec::new();
@@ -30,7 +41,16 @@ fn main() {
     let json = Json::obj()
         .field("experiment", "fault_sweep")
         .field("seed", seed)
-        .field("sweeps", Json::Arr(sweeps))
-        .to_string();
-    report::announce(&report::write_text("faults.json", &json).expect("write json"));
+        .field("sweeps", Json::Arr(sweeps));
+    report::announce(&report::write_json("faults.json", &json).expect("write json"));
+
+    if let Some(dir) = telemetry::telemetry_out_from_args() {
+        // Instrumented fault-free captures at the sweep's node count; the
+        // sweep itself is already summarized in faults.json.
+        let paths =
+            telemetry::export_workloads(&dir, Scale::Test, 4).expect("write telemetry artifacts");
+        for p in &paths {
+            report::announce(p);
+        }
+    }
 }

@@ -1,12 +1,15 @@
 //! Regenerate the paper's Figure 4 (BBV vs BBV+DDV CoV curves at 8 and 32
 //! processors for LU, FMM, Art, Equake) and the §IV FMM headline.
 //!
-//! Usage: `fig4 [--scale test|scaled|paper] [--jobs N] [--cold] [--no-cache]`
+//! Usage: `fig4 [--scale test|scaled|paper] [--jobs N] [--cold] [--no-cache]
+//! [--telemetry-out <dir>]`
 //! (default: scaled; jobs defaults to the hardware parallelism; traces are
-//! cached under `.dsm-trace-cache/` unless `--no-cache`).
+//! cached under `.dsm-trace-cache/` unless `--no-cache`; `--telemetry-out`
+//! additionally writes one Chrome-trace / metrics / summary triple per
+//! workload at 2 processors plus the engine's cache counters).
 
 use dsm_harness::figures::{figure4_with_report, headline_fmm};
-use dsm_harness::{parallel, report};
+use dsm_harness::{parallel, report, telemetry};
 use dsm_workloads::Scale;
 
 fn parse_scale() -> Scale {
@@ -52,13 +55,25 @@ fn main() {
     report::announce(
         &report::write_text("fig4.txt", &format!("{ascii}\n{headline}")).expect("write txt"),
     );
+    report::announce(&report::write_json("fig4.json", &fig.to_json()).expect("write json"));
     report::announce(
-        &report::write_text("fig4.json", &fig.to_json().to_string()).expect("write json"),
-    );
-    report::announce(
-        &report::write_text("fig4-run.json", &run_report.to_json()).expect("write run report"),
+        &report::write_json("fig4-run.json", &run_report.json_value())
+            .expect("write run report"),
     );
     eprintln!("{}", run_report.summary());
+
+    if let Some(dir) = telemetry::telemetry_out_from_args() {
+        let paths =
+            telemetry::export_workloads(&dir, scale, 2).expect("write telemetry artifacts");
+        for p in &paths {
+            report::announce(p);
+        }
+        let mut reg = dsm_telemetry::MetricsRegistry::new();
+        run_report.publish(&mut reg);
+        report::announce(
+            &telemetry::export_registry(&dir, "fig4-run", &reg).expect("write run metrics"),
+        );
+    }
     eprintln!("fig4 done in {:?}", t0.elapsed());
 }
 

@@ -22,7 +22,9 @@
 //!   all with byte-identical serial/parallel output;
 //! * [`json`] — the deterministic JSON value type the engine's artefacts
 //!   are written with;
-//! * [`report`] — results-directory output helpers.
+//! * [`report`] — results-directory output helpers;
+//! * [`telemetry`] — instrumented captures and the Chrome-trace / JSONL /
+//!   summary exporters behind every binary's `--telemetry-out` flag.
 
 pub mod adaptive;
 pub mod experiment;
@@ -35,6 +37,7 @@ pub mod report;
 pub mod sensitivity;
 pub mod sweep;
 pub mod tables;
+pub mod telemetry;
 pub mod trace;
 
 pub use experiment::ExperimentConfig;

@@ -357,9 +357,28 @@ impl RunReport {
         o.field("runs", Json::Arr(runs))
     }
 
+    /// Full JSON value, timing included.
+    pub fn json_value(&self) -> Json {
+        self.json_with(true)
+    }
+
     /// Full JSON, timing included.
     pub fn to_json(&self) -> String {
         self.json_with(true).to_string()
+    }
+
+    /// Publish the deterministic run counters into a metrics registry
+    /// (wall times are excluded so the published metrics stay byte-stable
+    /// across reruns and job counts, like [`RunReport::stable_json`]).
+    pub fn publish(&self, reg: &mut dsm_telemetry::MetricsRegistry) {
+        reg.counter_add("harness/experiments", self.runs.len() as u64);
+        reg.counter_add("harness/cache/mem_hits", self.mem_hits() as u64);
+        reg.counter_add("harness/cache/disk_hits", self.disk_hits() as u64);
+        reg.counter_add("harness/cache/misses", self.misses() as u64);
+        reg.counter_add(
+            "harness/intervals",
+            self.runs.iter().map(|r| r.intervals as u64).sum(),
+        );
     }
 
     /// JSON with wall-time fields elided — byte-identical across reruns
@@ -877,6 +896,40 @@ mod tests {
     fn par_map_empty_and_single() {
         assert_eq!(par_map_jobs(4, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(par_map_jobs(4, vec![9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn run_report_publishes_cache_counters() {
+        let report = RunReport {
+            name: "t".into(),
+            jobs: 2,
+            runs: vec![
+                ExperimentRun {
+                    label: "a".into(),
+                    key: "ka".into(),
+                    source: CaptureSource::MemoryCache,
+                    wall_ms: 1.0,
+                    intervals: 5,
+                },
+                ExperimentRun {
+                    label: "b".into(),
+                    key: "kb".into(),
+                    source: CaptureSource::Simulated,
+                    wall_ms: 2.0,
+                    intervals: 7,
+                },
+            ],
+            total_wall_ms: 3.0,
+        };
+        let mut reg = dsm_telemetry::MetricsRegistry::new();
+        report.publish(&mut reg);
+        assert_eq!(reg.counter_value("harness/experiments"), Some(2));
+        assert_eq!(reg.counter_value("harness/cache/mem_hits"), Some(1));
+        assert_eq!(reg.counter_value("harness/cache/disk_hits"), Some(0));
+        assert_eq!(reg.counter_value("harness/cache/misses"), Some(1));
+        assert_eq!(reg.counter_value("harness/intervals"), Some(12));
+        // No wall-time metric leaks in: the dump must stay deterministic.
+        assert!(reg.gauge_value("harness/total_wall_ms").is_none());
     }
 
     #[test]

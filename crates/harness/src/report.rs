@@ -22,6 +22,14 @@ pub fn write_text(name: &str, content: &str) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Write a JSON artefact into the results directory; returns its path.
+/// Every binary routes its `.json` outputs through here so serialization
+/// (compact, insertion-ordered, shortest-round-trip floats) is decided in
+/// exactly one place and output stays byte-stable across runs.
+pub fn write_json(name: &str, value: &crate::json::Json) -> io::Result<PathBuf> {
+    write_text(name, &value.to_string())
+}
+
 /// Write a CSV artefact into the results directory; returns its path.
 pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
     let path = results_dir()?.join(name);

@@ -1,0 +1,48 @@
+//! Artifact byte-stability: every `.json` artefact goes through
+//! [`dsm_harness::report::write_json`], and two runs with the same inputs
+//! must produce byte-identical files. Exercised here on the `faults.json`
+//! document exactly as the `faults` binary assembles it.
+//!
+//! This is the only test in this binary on purpose: it owns the
+//! `DSM_RESULTS_DIR` environment variable for the process.
+
+use dsm_harness::faults::fault_sweep;
+use dsm_harness::json::{parse, Json};
+use dsm_harness::report;
+use dsm_workloads::App;
+
+#[test]
+fn faults_json_is_byte_identical_across_reruns() {
+    let tmp = std::env::temp_dir().join(format!("dsm-artifacts-test-{}", std::process::id()));
+    std::env::set_var("DSM_RESULTS_DIR", &tmp);
+
+    // Assemble the document the way the `faults` binary does, twice, from
+    // two independent sweeps (small: one app, one rate).
+    let build = || {
+        let s = fault_sweep(App::Lu, 2, 42, &[0.01]);
+        Json::obj()
+            .field("experiment", "fault_sweep")
+            .field("seed", 42u64)
+            .field("sweeps", Json::Arr(vec![s.to_json()]))
+    };
+
+    let a = build();
+    let path_a = report::write_json("faults.json", &a).expect("write first");
+    let bytes_a = std::fs::read(&path_a).expect("read first");
+
+    let b = build();
+    let path_b = report::write_json("faults.json", &b).expect("write second");
+    let bytes_b = std::fs::read(&path_b).expect("read second");
+
+    assert_eq!(path_a, path_b);
+    assert_eq!(bytes_a, bytes_b, "faults.json must be byte-identical across reruns");
+    // The shared writer serializes exactly the deterministic Json encoding.
+    assert_eq!(bytes_a, a.to_string().into_bytes());
+    // And the artefact round-trips through the parser.
+    let back = parse(std::str::from_utf8(&bytes_b).unwrap()).expect("parse artefact");
+    assert_eq!(back.get("experiment").unwrap().as_str(), Some("fault_sweep"));
+    assert_eq!(back.get("sweeps").unwrap().as_arr().unwrap().len(), 1);
+
+    std::env::remove_var("DSM_RESULTS_DIR");
+    let _ = std::fs::remove_dir_all(tmp);
+}

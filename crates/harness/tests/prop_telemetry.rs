@@ -1,0 +1,139 @@
+//! Property tests for the Chrome `trace_event` exporter: for *arbitrary*
+//! snapshots (random track names including escapes, random span layouts,
+//! random drop counts) the exported document parses as JSON, every event
+//! carries non-negative integer `ts`/`dur`, drop accounting is reported
+//! both per track and in `otherData`, and snapshots built the way the
+//! recorder builds them (spans tiling each track) never produce two
+//! overlapping events on one thread lane.
+
+use proptest::prelude::*;
+
+use dsm_harness::json::{parse, Json};
+use dsm_telemetry::chrome;
+use dsm_telemetry::{SpanEvent, Snapshot, TrackSnapshot};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Plain letters plus every character class the escaper must handle.
+    prop::collection::vec(
+        prop::sample::select(vec!['a', 'k', 'z', '_', ' ', '"', '\\', '\n', '\t', '\u{1}', 'µ']),
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// A track whose spans tile the timeline (ts strictly advancing past the
+/// previous span's end) — the invariant the simulator's recorder upholds.
+fn tiled_track_strategy() -> impl Strategy<Value = TrackSnapshot> {
+    (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), 0u64..1000, 0u64..500), 0..20),
+        0u64..10,
+    )
+        .prop_map(|(track_name, raw, dropped)| {
+            let mut ts = 0u64;
+            let spans = raw
+                .into_iter()
+                .map(|(name, gap, dur)| {
+                    let start = ts + gap;
+                    ts = start + dur;
+                    SpanEvent { name, ts: start, dur }
+                })
+                .collect();
+            TrackSnapshot { name: track_name, spans, dropped }
+        })
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    (prop::collection::vec(tiled_track_strategy(), 0..5), any::<bool>()).prop_map(
+        |(tracks, enabled)| Snapshot {
+            enabled,
+            metrics: Vec::new(),
+            tracks,
+        },
+    )
+}
+
+/// All events of the parsed document.
+fn trace_events(doc: &Json) -> &[Json] {
+    doc.get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+}
+
+fn field_u64(ev: &Json, key: &str) -> u64 {
+    let x = ev.get(key).and_then(Json::as_f64).expect("numeric field");
+    assert!(x >= 0.0 && x.fract() == 0.0, "{key} must be a non-negative integer, got {x}");
+    x as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn export_parses_and_accounts_for_every_span(snap in snapshot_strategy()) {
+        let text = chrome::export(&snap);
+        let doc = parse(&text).expect("exported trace must parse as JSON");
+
+        let events = trace_events(&doc);
+        // One "M" metadata event per track plus one "X" event per span.
+        let n_spans: usize = snap.tracks.iter().map(|t| t.spans.len()).sum();
+        prop_assert_eq!(events.len(), snap.tracks.len() + n_spans);
+
+        // otherData reports the global accounting.
+        let other = doc.get("otherData").expect("otherData");
+        prop_assert_eq!(
+            field_u64(other, "recorded_spans"),
+            snap.recorded_spans()
+        );
+        prop_assert_eq!(field_u64(other, "dropped_spans"), snap.dropped_spans());
+
+        // Per-track: metadata carries the drop count; every X event has
+        // non-negative integer ts/dur and a tid pointing at a real track.
+        let mut meta_drops = vec![None; snap.tracks.len()];
+        for ev in events {
+            let tid = field_u64(ev, "tid") as usize;
+            prop_assert!(tid < snap.tracks.len());
+            match ev.get("ph").and_then(Json::as_str) {
+                Some("M") => {
+                    meta_drops[tid] = Some(field_u64(ev.get("args").unwrap(), "dropped"));
+                }
+                Some("X") => {
+                    field_u64(ev, "ts");
+                    field_u64(ev, "dur");
+                }
+                other => prop_assert!(false, "unexpected phase {other:?}"),
+            }
+        }
+        for (t, drops) in snap.tracks.iter().zip(&meta_drops) {
+            prop_assert_eq!(*drops, Some(t.dropped), "track {} drop count", t.name);
+        }
+    }
+
+    #[test]
+    fn spans_on_one_lane_never_overlap(snap in snapshot_strategy()) {
+        let text = chrome::export(&snap);
+        let doc = parse(&text).expect("parse");
+        // Collect X events per tid and check pairwise tiling: each span
+        // starts at or after the previous one's end.
+        let mut last_end: Vec<u64> = vec![0; snap.tracks.len()];
+        for ev in trace_events(&doc) {
+            if ev.get("ph").and_then(Json::as_str) != Some("X") {
+                continue;
+            }
+            let tid = field_u64(ev, "tid") as usize;
+            let ts = field_u64(ev, "ts");
+            let dur = field_u64(ev, "dur");
+            prop_assert!(
+                ts >= last_end[tid],
+                "span at ts={ts} overlaps previous end={} on lane {tid}",
+                last_end[tid]
+            );
+            last_end[tid] = ts + dur;
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic(snap in snapshot_strategy()) {
+        prop_assert_eq!(chrome::export(&snap), chrome::export(&snap));
+    }
+}

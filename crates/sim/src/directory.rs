@@ -69,6 +69,20 @@ pub struct DirectoryStats {
     pub nacks: u64,
 }
 
+impl DirectoryStats {
+    /// Mirror the transition counters into a metrics registry under
+    /// `prefix` (e.g. `sim/directory`).
+    pub fn publish(&self, prefix: &str, reg: &mut dsm_telemetry::MetricsRegistry) {
+        reg.counter_add(&format!("{prefix}/reads"), self.reads);
+        reg.counter_add(&format!("{prefix}/writes"), self.writes);
+        reg.counter_add(&format!("{prefix}/owner_forwards"), self.owner_forwards);
+        reg.counter_add(&format!("{prefix}/invalidations"), self.invalidations);
+        reg.counter_add(&format!("{prefix}/upgrades"), self.upgrades);
+        reg.counter_add(&format!("{prefix}/writebacks"), self.writebacks);
+        reg.counter_add(&format!("{prefix}/nacks"), self.nacks);
+    }
+}
+
 /// The (logically distributed) directory. Homes are a pure function of the
 /// address, so a single map keyed by block index is behaviourally identical
 /// to per-home maps; per-home latency is charged by the system loop.

@@ -78,6 +78,23 @@ impl FaultStats {
     pub fn is_clean(&self) -> bool {
         *self == Self { messages: self.messages, ..Self::default() }
     }
+
+    /// Mirror every per-class counter into a metrics registry under
+    /// `prefix` (e.g. `sim/faults`). This is the registry's canonical
+    /// source for fault counters — the harness and the simulator both
+    /// publish through it rather than re-inventing the field list.
+    pub fn publish(&self, prefix: &str, reg: &mut dsm_telemetry::MetricsRegistry) {
+        reg.counter_add(&format!("{prefix}/messages"), self.messages);
+        reg.counter_add(&format!("{prefix}/drops"), self.drops);
+        reg.counter_add(&format!("{prefix}/retries"), self.retries);
+        reg.counter_add(&format!("{prefix}/forced_deliveries"), self.forced_deliveries);
+        reg.counter_add(&format!("{prefix}/duplicates"), self.duplicates);
+        reg.counter_add(&format!("{prefix}/spikes"), self.spikes);
+        reg.counter_add(&format!("{prefix}/spike_cycles"), self.spike_cycles);
+        reg.counter_add(&format!("{prefix}/timeout_wait_cycles"), self.timeout_wait_cycles);
+        reg.counter_add(&format!("{prefix}/slowdown_events"), self.slowdown_events);
+        reg.counter_add(&format!("{prefix}/slowdown_cycles"), self.slowdown_cycles);
+    }
 }
 
 /// Outcome of delivering one protocol message through the faulty fabric.

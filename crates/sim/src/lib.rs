@@ -40,6 +40,7 @@ pub mod processor;
 pub mod sched;
 pub mod stats;
 pub mod system;
+pub mod telem;
 pub mod util;
 
 pub use addr::{Addr, HomeMap, NodeId, BLOCK_BYTES, BLOCK_SHIFT, PAGE_BYTES, PAGE_SHIFT};
@@ -52,3 +53,4 @@ pub use event::{Event, InstructionStream};
 pub use observer::{IntervalStats, NullObserver, SimObserver};
 pub use stats::{ProcStats, SystemStats};
 pub use system::System;
+pub use telem::{SimProbes, SimTelemetry};

@@ -39,6 +39,17 @@ pub struct NetworkStats {
     pub link_wait_cycles: u64,
 }
 
+impl NetworkStats {
+    /// Mirror the traffic counters into a metrics registry under `prefix`
+    /// (e.g. `sim/network`).
+    pub fn publish(&self, prefix: &str, reg: &mut dsm_telemetry::MetricsRegistry) {
+        reg.counter_add(&format!("{prefix}/msgs"), self.msgs);
+        reg.counter_add(&format!("{prefix}/payload_msgs"), self.payload_msgs);
+        reg.counter_add(&format!("{prefix}/total_hops"), self.total_hops);
+        reg.counter_add(&format!("{prefix}/link_wait_cycles"), self.link_wait_cycles);
+    }
+}
+
 impl Network {
     pub fn new(cfg: NetworkConfig, n_nodes: usize) -> Self {
         assert!(n_nodes.is_power_of_two() && n_nodes > 0);

@@ -6,6 +6,11 @@
 //! end-of-interval notification with the interval's CPI. Nothing
 //! reconfiguration-tainted (cache hit/miss outcomes, queue depths) is
 //! exposed, matching the paper's footnote 2.
+//!
+//! Observers are orthogonal to the telemetry layer ([`crate::telem`]):
+//! the system records its own interval span (on node `p`'s interval track)
+//! immediately *before* invoking [`SimObserver::on_interval`], so a
+//! feature-on trace brackets exactly the work each observer callback saw.
 
 use crate::addr::NodeId;
 use serde::{Deserialize, Serialize};

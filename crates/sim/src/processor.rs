@@ -103,12 +103,15 @@ impl Processor {
     }
 
     /// Charge an exposed memory stall of `raw` cycles (the MLP discount is
-    /// applied here).
+    /// applied here); returns the exposed stall actually paid, which is
+    /// exactly how far `cycle` advanced — telemetry spans use it so
+    /// per-node spans tile the node's own timeline without overlap.
     #[inline]
-    pub fn charge_mem_stall(&mut self, raw: u64) {
+    pub fn charge_mem_stall(&mut self, raw: u64) -> u64 {
         let exposed = self.core.exposed_stall(raw);
         self.cycle += exposed;
         self.stats.mem_stall_cycles += exposed;
+        exposed
     }
 
     /// Advance interval progress by `insns` committed non-sync instructions;

@@ -61,6 +61,12 @@ impl MinTree {
         self.keys[i]
     }
 
+    /// Participants whose key is not the parked `u64::MAX` sentinel — i.e.
+    /// still runnable. O(n); telemetry/diagnostics only (0 at clean finish).
+    pub fn runnable(&self) -> usize {
+        self.keys[..self.n].iter().filter(|&&k| k != u64::MAX).count()
+    }
+
     /// Update participant `i`'s key and replay its path to the root.
     #[inline]
     pub fn set_key(&mut self, i: usize, key: u64) {

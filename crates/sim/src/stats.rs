@@ -105,6 +105,41 @@ impl SystemStats {
         }
         self.procs.iter().map(|p| p.cpi()).sum::<f64>() / self.procs.len() as f64
     }
+
+    /// Mirror this snapshot into a metrics registry under the `sim/`
+    /// namespace: cross-processor aggregates, directory transitions,
+    /// network traffic, memory-controller totals, and the per-class fault
+    /// counters. The single publication path used both by
+    /// [`crate::system::System`] at run end (feature-on builds) and by the
+    /// harness when folding captured stats into a run-level registry.
+    pub fn publish(&self, reg: &mut dsm_telemetry::MetricsRegistry) {
+        reg.gauge_set("sim/finish_cycle", self.finish_cycle as f64);
+        reg.gauge_set("sim/system_ipc", self.system_ipc());
+        reg.counter_add("sim/procs/insns", self.total_insns());
+        for (name, pick) in [
+            ("sim/procs/mem_refs", &(|p: &ProcStats| p.mem_refs) as &dyn Fn(&ProcStats) -> u64),
+            ("sim/procs/l1_misses", &|p: &ProcStats| p.l1_misses),
+            ("sim/procs/l2_misses", &|p: &ProcStats| p.l2_misses),
+            ("sim/procs/remote_home_misses", &|p: &ProcStats| p.remote_home_misses),
+            ("sim/procs/mem_stall_cycles", &|p: &ProcStats| p.mem_stall_cycles),
+            ("sim/procs/sync_wait_cycles", &|p: &ProcStats| p.sync_wait_cycles),
+            ("sim/procs/mispredicts", &|p: &ProcStats| p.mispredicts),
+            ("sim/procs/intervals", &|p: &ProcStats| p.intervals),
+        ] {
+            reg.counter_add(name, self.procs.iter().map(pick).sum());
+        }
+        self.directory.publish("sim/directory", reg);
+        self.network.publish("sim/network", reg);
+        reg.counter_add(
+            "sim/memctrl/requests",
+            self.memctrls.iter().map(|m| m.requests).sum(),
+        );
+        reg.counter_add(
+            "sim/memctrl/queue_delay_cycles",
+            self.memctrls.iter().map(|m| m.total_queue_delay).sum(),
+        );
+        self.faults.publish("sim/faults", reg);
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use crate::observer::{IntervalStats, SimObserver};
 use crate::processor::Processor;
 use crate::sched::MinTree;
 use crate::stats::SystemStats;
+use crate::telem::{SimProbes, SimTelemetry, Snapshot};
 use crate::util::FxHashMap;
 
 #[derive(Debug, Default)]
@@ -59,6 +60,11 @@ pub struct System<S: InstructionStream, O: SimObserver> {
     /// canonical position in the global `(cycle, id)` order rather than
     /// inside a compute batch.
     pending: Vec<Option<Event>>,
+    /// Telemetry recorder: the real facade under the `telemetry` feature,
+    /// a zero-sized no-op stub otherwise (see [`crate::telem`]).
+    telem: SimTelemetry,
+    /// Pre-interned probe ids for the hot-path instrumentation.
+    probes: SimProbes,
 }
 
 impl<S: InstructionStream, O: SimObserver> System<S, O> {
@@ -70,6 +76,8 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             "stream and config disagree on processor count"
         );
         let n = cfg.n_procs;
+        let mut telem = SimTelemetry::new(SimProbes::tracks_for(n));
+        let probes = SimProbes::register(&mut telem, n);
         Self {
             procs: (0..n).map(|i| Processor::new(i, &cfg)).collect(),
             dir: Directory::with_capacity(cfg.directory_capacity_hint()),
@@ -91,6 +99,8 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             events_executed: 0,
             sched: MinTree::new(n),
             pending: vec![None; n],
+            telem,
+            probes,
             cfg,
         }
     }
@@ -135,6 +145,24 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         while self.step() {}
         let stats = self.finish_stats();
         (stats, self.observer)
+    }
+
+    /// Like [`System::run`], additionally returning the telemetry snapshot
+    /// (coherence/interval span tracks, stall histograms, and the final
+    /// stats mirrored as registry metrics). With the `telemetry` feature
+    /// off the snapshot is [`Snapshot::empty`]; the simulation itself is
+    /// bit-identical either way.
+    pub fn run_telemetry(mut self) -> (SystemStats, O, Snapshot) {
+        while self.step_batched() {}
+        let stats = self.finish_stats();
+        let snapshot = self.telem.snapshot();
+        (stats, self.observer, snapshot)
+    }
+
+    /// Telemetry recorded so far (mid-run diagnostics; empty when the
+    /// `telemetry` feature is off).
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.telem.snapshot()
     }
 
     /// Execute one event on the earliest runnable processor (smallest
@@ -228,12 +256,8 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             Event::Mem { addr, write } => {
                 let home = self.mem_access(p, addr, write);
                 self.observer.on_mem_commit(p, home, addr, write);
-                let pr = &mut self.procs[p];
-                pr.commit_insns(1);
-                if let Some((index, insns, cycles)) = pr.advance_interval(1) {
-                    self.observer
-                        .on_interval(p, IntervalStats { index, insns, cycles });
-                }
+                self.procs[p].commit_insns(1);
+                self.advance_interval(p, 1);
             }
             Event::Fp { ops } => {
                 self.procs[p].commit_fp(ops as u64);
@@ -280,6 +304,10 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
     #[inline]
     fn advance_interval(&mut self, p: usize, insns: u64) {
         if let Some((index, insns, cycles)) = self.procs[p].advance_interval(insns) {
+            // Interval span: `[start, end)` on node p's interval track.
+            let end = self.procs[p].cycle;
+            self.telem
+                .span(self.cfg.n_procs + p, self.probes.interval, end - cycles, cycles);
             self.observer
                 .on_interval(p, IntervalStats { index, insns, cycles });
         }
@@ -318,7 +346,14 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                 }
                 let raw = self.cfg.l2.latency_cycles + self.coherence_stall(p, block, home, write);
                 let raw = raw + self.fault.slowdown_extra(p, self.procs[p].cycle, raw);
-                self.procs[p].charge_mem_stall(raw);
+                let start = self.procs[p].cycle;
+                let exposed = self.procs[p].charge_mem_stall(raw);
+                // Coherence-transaction span: the exposed stall is exactly
+                // how far this node's clock advanced, so spans on one
+                // track tile the timeline without overlap.
+                let name = if write { self.probes.dir_write } else { self.probes.dir_read };
+                self.telem.span(p, name, start, exposed);
+                self.telem.record(self.probes.stall_hist, raw);
             }
         }
         home
@@ -541,14 +576,23 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         for pr in &mut self.procs {
             pr.sync_stats();
         }
-        SystemStats {
+        let stats = SystemStats {
             procs: self.procs.iter().map(|p| p.stats).collect(),
             directory: self.dir.stats(),
             network: self.net.stats(),
             memctrls: self.memctrls.iter().map(|m| m.stats()).collect(),
             faults: self.fault.stats(),
             finish_cycle: self.procs.iter().map(|p| p.cycle).max().unwrap_or(0),
+        };
+        // Cold path: mirror the run's headline statistics into the
+        // telemetry registry. `registry_mut` is `None` on the stub, so a
+        // disabled build compiles this whole block away.
+        if let Some(reg) = self.telem.registry_mut() {
+            reg.counter_add("sim/events_executed", self.events_executed);
+            reg.counter_add("sim/sched/runnable_at_finish", self.sched.runnable() as u64);
+            stats.publish(reg);
         }
+        stats
     }
 
     /// Events executed so far (diagnostics).
@@ -986,6 +1030,104 @@ mod tests {
                 "test must exercise interval completion (seed {seed})"
             );
         }
+    }
+
+    /// Shared workload for the telemetry tests: enough misses and interval
+    /// completions on both processors to populate every track.
+    fn telemetry_workload() -> System<Script, NullObserver> {
+        let mk = |p: usize| {
+            (0..300u64)
+                .flat_map(|i| {
+                    [
+                        Event::Block { bb: (i % 5) as u32, insns: 20, taken: i % 2 == 0 },
+                        Event::Mem {
+                            addr: explicit_addr((i % 2) as usize, (p as u64 * 8192 + i) * 32),
+                            write: i % 4 == 0,
+                        },
+                    ]
+                })
+                .collect::<Vec<_>>()
+        };
+        System::new(
+            SystemConfig::with_interval_base(2, 2000),
+            Script::new(vec![mk(0), mk(1)]),
+            NullObserver,
+        )
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn telemetry_disabled_snapshot_is_empty() {
+        let (stats, _, snap) = telemetry_workload().run_telemetry();
+        assert!(stats.total_insns() > 0);
+        assert!(!snap.enabled);
+        assert!(snap.metrics.is_empty());
+        assert!(snap.tracks.is_empty());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_spans_tile_each_track_and_metrics_mirror_stats() {
+        let (stats, _, snap) = telemetry_workload().run_telemetry();
+        assert!(snap.enabled);
+        // 2 processors -> 2 coherence tracks + 2 interval tracks.
+        assert_eq!(snap.tracks.len(), 4);
+        assert_eq!(snap.tracks[0].name, "node0 coherence");
+        assert_eq!(snap.tracks[3].name, "node1 intervals");
+        for t in &snap.tracks {
+            assert!(!t.spans.is_empty(), "track {} must have spans", t.name);
+            // Spans on one track advance with the node's clock: each starts
+            // at or after the previous one's end.
+            for w in t.spans.windows(2) {
+                assert!(
+                    w[1].ts >= w[0].ts + w[0].dur,
+                    "overlap on {}: {:?} then {:?}",
+                    t.name,
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // One coherence span per L2 miss (ring capacity not hit here).
+        let misses: u64 = stats.procs.iter().map(|p| p.l2_misses).sum();
+        let coherence_spans: u64 =
+            snap.tracks[..2].iter().map(|t| t.spans.len() as u64).sum();
+        assert_eq!(coherence_spans, misses);
+        // One interval span per completed interval.
+        let intervals: u64 = stats.procs.iter().map(|p| p.intervals).sum();
+        let interval_spans: u64 =
+            snap.tracks[2..].iter().map(|t| t.spans.len() as u64).sum();
+        assert_eq!(interval_spans, intervals);
+        // The registry mirrors the final stats.
+        let get = |name: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .clone()
+        };
+        assert_eq!(
+            get("sim/procs/l2_misses").value,
+            dsm_telemetry::MetricValue::Counter(misses)
+        );
+        match get("sim/coherence/stall_cycles").value {
+            dsm_telemetry::MetricValue::Histogram { count, .. } => assert_eq!(count, misses),
+            v => panic!("expected histogram, got {v:?}"),
+        }
+        match get("sim/finish_cycle").value {
+            dsm_telemetry::MetricValue::Gauge(g) => assert_eq!(g, stats.finish_cycle as f64),
+            v => panic!("expected gauge, got {v:?}"),
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_feature_does_not_change_simulation() {
+        // The recorder is write-only: stats with the feature on must equal
+        // the golden run the default build produces.
+        let (a, _) = telemetry_workload().run();
+        let (b, _, _) = telemetry_workload().run_telemetry();
+        assert_eq!(a, b);
     }
 
     #[test]

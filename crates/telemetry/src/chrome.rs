@@ -1,0 +1,144 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Serializes a [`Snapshot`] into the JSON Object Format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one complete
+//! (`"ph":"X"`) event per span, one process, one thread per track, with
+//! thread-name metadata events labelling the tracks. Ring-buffer drop
+//! counts are reported in `otherData` (total) and per track on the
+//! thread-name metadata, so a truncated trace declares itself.
+//!
+//! Timestamps are simulated cycles written as integer `ts`/`dur` — the
+//! viewer's absolute time unit is meaningless here, only relative layout
+//! matters. Output is fully deterministic: tracks in index order, spans in
+//! recording order, object keys in fixed order, no floats.
+
+use crate::span::Snapshot;
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Export a snapshot as a Chrome trace JSON document.
+pub fn export(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(64 + snapshot.recorded_spans() as usize * 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: &str| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(body);
+    };
+    for (tid, track) in snapshot.tracks.iter().enumerate() {
+        let mut meta = String::new();
+        meta.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":");
+        meta.push_str(&tid.to_string());
+        meta.push_str(",\"args\":{\"name\":\"");
+        escape_into(&mut meta, &track.name);
+        meta.push_str("\",\"dropped\":");
+        meta.push_str(&track.dropped.to_string());
+        meta.push_str("}}");
+        push_event(&mut out, &meta);
+        for span in &track.spans {
+            let mut ev = String::new();
+            ev.push_str("{\"name\":\"");
+            escape_into(&mut ev, &span.name);
+            ev.push_str("\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":");
+            ev.push_str(&tid.to_string());
+            ev.push_str(",\"ts\":");
+            ev.push_str(&span.ts.to_string());
+            ev.push_str(",\"dur\":");
+            ev.push_str(&span.dur.to_string());
+            ev.push('}');
+            push_event(&mut out, &ev);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{");
+    out.push_str("\"format\":\"dsm-telemetry-chrome/v1\",\"clock\":\"cycles\",");
+    out.push_str("\"enabled\":");
+    out.push_str(if snapshot.enabled { "true" } else { "false" });
+    out.push_str(",\"recorded_spans\":");
+    out.push_str(&snapshot.recorded_spans().to_string());
+    out.push_str(",\"dropped_spans\":");
+    out.push_str(&snapshot.dropped_spans().to_string());
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanEvent, TrackSnapshot};
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            enabled: true,
+            metrics: Vec::new(),
+            tracks: vec![
+                TrackSnapshot {
+                    name: "node0 coherence".into(),
+                    spans: vec![
+                        SpanEvent { name: "dir_read".into(), ts: 10, dur: 40 },
+                        SpanEvent { name: "dir_write".into(), ts: 60, dur: 25 },
+                    ],
+                    dropped: 0,
+                },
+                TrackSnapshot { name: "node0 intervals".into(), spans: vec![], dropped: 3 },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_contains_spans_metadata_and_drops() {
+        let t = export(&snap());
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.contains("\"thread_name\""));
+        assert!(t.contains("\"node0 coherence\""));
+        assert!(t.contains("\"dir_read\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":10,\"dur\":40"));
+        assert!(t.contains("\"dropped\":3"));
+        assert!(t.contains("\"dropped_spans\":3"));
+        assert!(t.contains("\"recorded_spans\":2"));
+        assert!(t.ends_with("}}"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(export(&snap()), export(&snap()));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let s = Snapshot {
+            enabled: true,
+            metrics: Vec::new(),
+            tracks: vec![TrackSnapshot {
+                name: "a\"b\\c\nd".into(),
+                spans: vec![SpanEvent { name: "x\ty".into(), ts: 0, dur: 0 }],
+                dropped: 0,
+            }],
+        };
+        let t = export(&s);
+        assert!(t.contains("a\\\"b\\\\c\\nd"));
+        assert!(t.contains("x\\ty"));
+    }
+
+    #[test]
+    fn empty_snapshot_still_valid_document() {
+        let t = export(&Snapshot::empty());
+        assert!(t.contains("\"traceEvents\":[]"));
+        assert!(t.contains("\"enabled\":false"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Span recording: per-track fixed-capacity ring buffers with explicit
+//! drop counting.
+//!
+//! A *span* is a completed unit of work — one directory transaction, one
+//! sampling interval — with a start timestamp and a duration, both in
+//! simulated cycles. Each track (by convention, one per node per span
+//! family) owns a buffer of fixed capacity decided at construction; the
+//! recording path is a bounds check and a push into pre-allocated storage.
+//! When a track fills up further spans increment a drop counter instead of
+//! blocking, reallocating, or evicting — *keep-first* semantics, which keep
+//! recording O(1), allocation-free, and deterministic. Exporters surface
+//! the drop counts so truncation is never silent.
+
+/// Interned id of a span name (index into the sink's name table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NameId(pub(crate) u16);
+
+impl NameId {
+    /// Sentinel handed out by the disabled stub.
+    pub const DISABLED: NameId = NameId(u16::MAX);
+}
+
+/// Default per-track span capacity. Sized so a full-scale run costs a few
+/// MB at most; overflow is counted, not stored.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+#[derive(Debug, Clone, Copy)]
+struct SpanRecord {
+    name: NameId,
+    ts: u64,
+    dur: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Track {
+    name: String,
+    spans: Vec<SpanRecord>,
+    dropped: u64,
+}
+
+/// The span sink: a name table plus one bounded buffer per track.
+#[derive(Debug, Clone)]
+pub struct SpanSink {
+    names: Vec<&'static str>,
+    tracks: Vec<Track>,
+    capacity: usize,
+}
+
+impl SpanSink {
+    pub fn new(n_tracks: usize, capacity: usize) -> Self {
+        Self {
+            names: Vec::new(),
+            tracks: (0..n_tracks)
+                .map(|i| Track {
+                    name: format!("track{i}"),
+                    spans: Vec::with_capacity(capacity),
+                    dropped: 0,
+                })
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Intern a static span name; repeated interning returns the same id.
+    pub fn intern(&mut self, name: &'static str) -> NameId {
+        if let Some(i) = self.names.iter().position(|&n| n == name) {
+            return NameId(i as u16);
+        }
+        assert!(self.names.len() < u16::MAX as usize, "span name table full");
+        self.names.push(name);
+        NameId(self.names.len() as u16 - 1)
+    }
+
+    /// Rename a track for the exporters.
+    pub fn set_track_name(&mut self, track: usize, name: &str) {
+        self.tracks[track].name = name.to_string();
+    }
+
+    /// Record one completed span; counts a drop when the track is full.
+    #[inline]
+    pub fn record(&mut self, track: usize, name: NameId, ts: u64, dur: u64) {
+        let t = &mut self.tracks[track];
+        if t.spans.len() < self.capacity {
+            t.spans.push(SpanRecord { name, ts, dur });
+        } else {
+            t.dropped += 1;
+        }
+    }
+
+    /// Spans recorded (not dropped) across all tracks.
+    pub fn recorded(&self) -> u64 {
+        self.tracks.iter().map(|t| t.spans.len() as u64).sum()
+    }
+
+    /// Spans dropped across all tracks.
+    pub fn dropped(&self) -> u64 {
+        self.tracks.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Owned snapshot of every track, names resolved.
+    pub fn snapshot_tracks(&self) -> Vec<TrackSnapshot> {
+        self.tracks
+            .iter()
+            .map(|t| TrackSnapshot {
+                name: t.name.clone(),
+                spans: t
+                    .spans
+                    .iter()
+                    .map(|s| SpanEvent {
+                        name: self.names[s.name.0 as usize].to_string(),
+                        ts: s.ts,
+                        dur: s.dur,
+                    })
+                    .collect(),
+                dropped: t.dropped,
+            })
+            .collect()
+    }
+}
+
+/// One span in a snapshot, name resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub name: String,
+    pub ts: u64,
+    pub dur: u64,
+}
+
+/// One track in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackSnapshot {
+    pub name: String,
+    pub spans: Vec<SpanEvent>,
+    pub dropped: u64,
+}
+
+/// Everything a telemetry facade recorded: metrics plus span tracks.
+/// Always a real (owned) type, even in feature-off builds — the stub just
+/// returns [`Snapshot::empty`] — so exporters downstream are feature-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// False when produced by the disabled stub.
+    pub enabled: bool,
+    /// All metrics, sorted by name.
+    pub metrics: Vec<crate::metrics::MetricSample>,
+    pub tracks: Vec<TrackSnapshot>,
+}
+
+impl Snapshot {
+    pub fn empty() -> Self {
+        Self { enabled: false, metrics: Vec::new(), tracks: Vec::new() }
+    }
+
+    /// Total spans dropped across all tracks.
+    pub fn dropped_spans(&self) -> u64 {
+        self.tracks.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Total spans recorded across all tracks.
+    pub fn recorded_spans(&self) -> u64 {
+        self.tracks.iter().map(|t| t.spans.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let mut s = SpanSink::new(1, 4);
+        let a = s.intern("alpha");
+        let b = s.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(s.intern("alpha"), a);
+    }
+
+    #[test]
+    fn ring_keeps_first_and_counts_drops() {
+        let mut s = SpanSink::new(2, 3);
+        let n = s.intern("w");
+        for i in 0..5 {
+            s.record(0, n, i * 10, 5);
+        }
+        s.record(1, n, 0, 1);
+        assert_eq!(s.recorded(), 4);
+        assert_eq!(s.dropped(), 2);
+        let tracks = s.snapshot_tracks();
+        assert_eq!(tracks[0].spans.len(), 3);
+        assert_eq!(tracks[0].dropped, 2);
+        // Keep-first: the earliest spans survive.
+        assert_eq!(tracks[0].spans[0].ts, 0);
+        assert_eq!(tracks[0].spans[2].ts, 20);
+        assert_eq!(tracks[1].dropped, 0);
+    }
+
+    #[test]
+    fn snapshot_resolves_names_and_track_labels() {
+        let mut s = SpanSink::new(1, 4);
+        let n = s.intern("dir_read");
+        s.set_track_name(0, "node0 coherence");
+        s.record(0, n, 7, 3);
+        let t = s.snapshot_tracks();
+        assert_eq!(t[0].name, "node0 coherence");
+        assert_eq!(t[0].spans[0], SpanEvent { name: "dir_read".into(), ts: 7, dur: 3 });
+    }
+
+    #[test]
+    fn empty_snapshot_is_disabled() {
+        let s = Snapshot::empty();
+        assert!(!s.enabled);
+        assert_eq!(s.dropped_spans(), 0);
+        assert_eq!(s.recorded_spans(), 0);
+    }
+}

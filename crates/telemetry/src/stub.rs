@@ -1,0 +1,86 @@
+//! The disabled form of the telemetry facade: a zero-sized type with the
+//! exact API of [`crate::Telemetry`], every method an empty
+//! `#[inline(always)]` body. Instrumented crates select between the two
+//! with their own `telemetry` cargo feature:
+//!
+//! ```ignore
+//! #[cfg(feature = "telemetry")]
+//! pub use dsm_telemetry::Telemetry as SimTelemetry;
+//! #[cfg(not(feature = "telemetry"))]
+//! pub use dsm_telemetry::stub::Telemetry as SimTelemetry;
+//! ```
+//!
+//! so a disabled build compiles every probe to nothing — no branch, no
+//! store, no memory — and the id types flowing through instrumentation
+//! sites stay identical in both builds. [`Telemetry::registry_mut`]
+//! returning `None` lets cold-path publish bridges disappear too.
+
+use crate::metrics::{CounterId, GaugeId, HistId, MetricsRegistry};
+use crate::span::{NameId, Snapshot};
+
+/// No-op mirror of [`crate::Telemetry`]. See the module docs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Telemetry;
+
+impl Telemetry {
+    #[inline(always)]
+    pub fn new(_n_tracks: usize) -> Self {
+        Telemetry
+    }
+
+    #[inline(always)]
+    pub fn with_capacity(_n_tracks: usize, _capacity: usize) -> Self {
+        Telemetry
+    }
+
+    /// Always false: nothing is recorded.
+    pub const fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn counter(&mut self, _name: &str) -> CounterId {
+        CounterId::DISABLED
+    }
+
+    #[inline(always)]
+    pub fn gauge(&mut self, _name: &str) -> GaugeId {
+        GaugeId::DISABLED
+    }
+
+    #[inline(always)]
+    pub fn histogram(&mut self, _name: &str) -> HistId {
+        HistId::DISABLED
+    }
+
+    #[inline(always)]
+    pub fn intern(&mut self, _name: &'static str) -> NameId {
+        NameId::DISABLED
+    }
+
+    #[inline(always)]
+    pub fn set_track_name(&mut self, _track: usize, _name: &str) {}
+
+    #[inline(always)]
+    pub fn add(&mut self, _id: CounterId, _n: u64) {}
+
+    #[inline(always)]
+    pub fn set(&mut self, _id: GaugeId, _v: f64) {}
+
+    #[inline(always)]
+    pub fn record(&mut self, _id: HistId, _v: u64) {}
+
+    #[inline(always)]
+    pub fn span(&mut self, _track: usize, _name: NameId, _ts: u64, _dur: u64) {}
+
+    /// Always `None`: publish bridges guarded on this vanish when disabled.
+    #[inline(always)]
+    pub fn registry_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        None
+    }
+
+    #[inline(always)]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::empty()
+    }
+}

@@ -35,6 +35,7 @@ pub use dsm_analysis as analysis;
 pub use dsm_harness as harness;
 pub use dsm_phase as phase;
 pub use dsm_sim as sim;
+pub use dsm_telemetry as telemetry;
 pub use dsm_workloads as workloads;
 
 /// Most-used items in one import.
