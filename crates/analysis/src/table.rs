@@ -34,11 +34,28 @@ impl Table {
         self.rows.len()
     }
 
+    /// Widest cell a [`Table::kv`] column may grow to. Metric names come
+    /// from telemetry registries and fault-plan labels, which are
+    /// machine-generated and occasionally pathological; without a clamp a
+    /// single long key stretches every row of the report.
+    pub const KV_MAX_WIDTH: usize = 40;
+
     /// A titled two-column key/value table (metric summaries, run reports).
+    /// Cells longer than [`Table::KV_MAX_WIDTH`] characters are truncated
+    /// deterministically with a trailing `...`.
     pub fn kv<S: Into<String>>(title: S, pairs: &[(String, String)]) -> Self {
+        let clamp = |s: &str| -> String {
+            if s.chars().count() <= Self::KV_MAX_WIDTH {
+                s.to_string()
+            } else {
+                let mut out: String = s.chars().take(Self::KV_MAX_WIDTH - 3).collect();
+                out.push_str("...");
+                out
+            }
+        };
         let mut t = Table::new(vec!["metric", "value"]).with_title(title);
         for (k, v) in pairs {
-            t.row(vec![k.clone(), v.clone()]);
+            t.row(vec![clamp(k), clamp(v)]);
         }
         t
     }
@@ -122,6 +139,31 @@ mod tests {
         assert!(s.starts_with("summary\n"));
         assert!(s.contains("| sim/events | 12    |"));
         assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn kv_clamps_pathological_cells() {
+        let long_key = "x".repeat(200);
+        let t = Table::kv(
+            "summary",
+            &[
+                (long_key, "v".repeat(77)),
+                ("sim/events".to_string(), "12".to_string()),
+            ],
+        );
+        let s = t.render();
+        // Every cell is clamped, so no rendered line can exceed the two
+        // clamped columns plus borders and padding.
+        let max_line = s.lines().map(|l| l.chars().count()).max().unwrap();
+        assert!(max_line <= 2 * Table::KV_MAX_WIDTH + 7, "line width {max_line}");
+        let expect_key = format!("{}...", "x".repeat(Table::KV_MAX_WIDTH - 3));
+        let expect_val = format!("{}...", "v".repeat(Table::KV_MAX_WIDTH - 3));
+        assert!(s.contains(&expect_key));
+        assert!(s.contains(&expect_val));
+        // Deterministic: same input renders identically.
+        assert_eq!(s, t.render());
+        // Short cells are untouched.
+        assert!(s.contains("sim/events"));
     }
 
     #[test]

@@ -217,6 +217,21 @@ fn check(path: &Path) -> ExitCode {
             errors.push(format!("`{section}.allocs_per_interval` missing"));
         }
     }
+    // The checkpoint-roundtrip group is required in `current` (baselines
+    // recorded before the sampled-simulation subsystem may predate it).
+    match doc.get("current").and_then(|c| c.get("checkpoint_roundtrip")) {
+        Some(ck) => {
+            for key in ["encode_ms", "decode_restore_ms", "bytes"] {
+                match ck.get(key).and_then(Json::as_f64) {
+                    Some(v) if v >= 0.0 => {}
+                    _ => errors.push(format!(
+                        "`current.checkpoint_roundtrip.{key}` missing or negative"
+                    )),
+                }
+            }
+        }
+        None => errors.push("missing `current.checkpoint_roundtrip` group".into()),
+    }
     if doc.get("speedup_events_per_sec").is_none() {
         errors.push("missing `speedup_events_per_sec`".into());
     }

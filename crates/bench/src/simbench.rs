@@ -10,9 +10,12 @@
 use std::time::Instant;
 
 use dsm_harness::json::Json;
+use dsm_harness::simpoint::capture_with_checkpoints;
 use dsm_harness::sweep::{bbv_curve, bbv_ddv_curve};
 use dsm_harness::trace::capture;
 use dsm_harness::experiment::ExperimentConfig;
+use dsm_sim::config::FaultPlan;
+use dsm_simpoint::Checkpoint;
 use dsm_phase::detector::{DetectorGeometry, DetectorMode, OnlineDetector, Thresholds};
 use dsm_sim::event::{Event, InstructionStream};
 use dsm_sim::observer::{IntervalStats, SimObserver};
@@ -151,6 +154,49 @@ pub fn steady_state_allocs_per_interval() -> f64 {
     median(per_window) / (PER_WINDOW as f64 * N_PROCS as f64)
 }
 
+/// Checkpoint round-trip throughput: encode (snapshot serialization) and
+/// decode+restore (rebuild a live system) times for one mid-run `DSMCKPT1`
+/// checkpoint of test-scale LU at 4 processors, plus its size in bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct CkptRoundtrip {
+    /// Milliseconds to serialize the captured checkpoint.
+    pub encode_ms: f64,
+    /// Milliseconds to decode the bytes and resurrect a runnable system.
+    pub decode_restore_ms: f64,
+    /// Encoded checkpoint size in bytes (deterministic).
+    pub bytes: u64,
+}
+
+/// Measure [`CkptRoundtrip`] (minimum over `samples`, like the other
+/// wall-clock figures here). The capture itself is untimed setup.
+pub fn measure_checkpoint_roundtrip(samples: usize) -> CkptRoundtrip {
+    const BOUNDARY: u64 = 2;
+    let config = ExperimentConfig::test(App::Lu, 4);
+    let (ckpts, _) = capture_with_checkpoints(config, FaultPlan::none(), &[BOUNDARY]);
+    let bytes = &ckpts[0].1;
+    let ck = Checkpoint::decode(bytes).expect("fresh checkpoint decodes");
+
+    let mut encode_s = f64::INFINITY;
+    let mut decode_restore_s = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        let encoded = ck.encode();
+        encode_s = encode_s.min(t0.elapsed().as_secs_f64());
+        assert_eq!(encoded.len(), bytes.len());
+
+        let t0 = Instant::now();
+        let decoded = Checkpoint::decode(bytes).expect("checkpoint decodes");
+        let sys = dsm_harness::simpoint::resume_checkpoint(&decoded);
+        decode_restore_s = decode_restore_s.min(t0.elapsed().as_secs_f64());
+        assert_eq!(sys.min_interval_index(), BOUNDARY);
+    }
+    CkptRoundtrip {
+        encode_ms: encode_s * 1e3,
+        decode_restore_ms: decode_restore_s * 1e3,
+        bytes: bytes.len() as u64,
+    }
+}
+
 fn hypercube_dist(n: usize) -> Vec<f64> {
     let mut dist = vec![0.0; n * n];
     for i in 0..n {
@@ -177,6 +223,9 @@ pub struct Measurement {
     /// Steady-state detector allocation churn (see
     /// [`steady_state_allocs_per_interval`]).
     pub allocs_per_interval: f64,
+    /// Checkpoint snapshot/restore throughput (see
+    /// [`measure_checkpoint_roundtrip`]).
+    pub checkpoint_roundtrip: CkptRoundtrip,
 }
 
 /// Run the whole measurement suite (several seconds at test scale).
@@ -202,6 +251,7 @@ pub fn measure(samples: usize) -> Measurement {
         events_per_sec,
         pipeline_ms,
         allocs_per_interval: steady_state_allocs_per_interval(),
+        checkpoint_roundtrip: measure_checkpoint_roundtrip(samples),
     }
 }
 
@@ -224,6 +274,16 @@ impl Measurement {
             .field("events_per_sec", kv(&self.events_per_sec))
             .field("pipeline_ms", kv(&self.pipeline_ms))
             .field("allocs_per_interval", self.allocs_per_interval)
+            .field(
+                "checkpoint_roundtrip",
+                Json::obj()
+                    .field("encode_ms", round3(self.checkpoint_roundtrip.encode_ms))
+                    .field(
+                        "decode_restore_ms",
+                        round3(self.checkpoint_roundtrip.decode_restore_ms),
+                    )
+                    .field("bytes", self.checkpoint_roundtrip.bytes),
+            )
     }
 }
 
@@ -259,10 +319,28 @@ mod tests {
             events_per_sec: vec![("lu-2p".into(), 1e6)],
             pipeline_ms: vec![("lu".into(), 12.0)],
             allocs_per_interval: 0.0,
+            checkpoint_roundtrip: CkptRoundtrip {
+                encode_ms: 0.1,
+                decode_restore_ms: 0.2,
+                bytes: 1024,
+            },
         };
         let j = m.to_json("x");
         for key in ["label", "events", "events_per_sec", "pipeline_ms", "allocs_per_interval"] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
+        let ck = j.get("checkpoint_roundtrip").expect("checkpoint group");
+        for key in ["encode_ms", "decode_restore_ms", "bytes"] {
+            assert!(ck.get(key).is_some(), "missing checkpoint_roundtrip.{key}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_measures_real_bytes() {
+        let m = measure_checkpoint_roundtrip(1);
+        assert!(m.bytes > 0);
+        assert!(m.encode_ms >= 0.0 && m.decode_restore_ms >= 0.0);
+        // Deterministic codec: the size never wobbles between measurements.
+        assert_eq!(m.bytes, measure_checkpoint_roundtrip(1).bytes);
     }
 }

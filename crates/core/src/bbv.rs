@@ -87,6 +87,15 @@ impl BbvAccumulator {
         self.total = other.total;
     }
 
+    /// Rebuild an accumulator from raw bucket values (checkpoint restore).
+    /// The running total is recomputed as the bucket sum, which is the
+    /// invariant [`Self::record`] maintains.
+    pub fn from_raw(buckets: Vec<u64>) -> Self {
+        assert!(!buckets.is_empty());
+        let total = buckets.iter().sum();
+        Self { buckets, total }
+    }
+
     /// Zero all counters (start of a new interval).
     pub fn reset(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);

@@ -92,6 +92,22 @@ impl FrequencyMatrix {
     }
 }
 
+/// One frequency matrix's dynamic state (checkpointing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencySnap {
+    pub cum: Vec<u64>,
+    pub snap: Vec<u64>,
+}
+
+/// [`DdvState`]'s dynamic state: per-node matrices plus gather counters.
+/// The distance matrix is config-derived and not stored.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DdvSnap {
+    pub mats: Vec<FrequencySnap>,
+    pub queries: u64,
+    pub vectors_exchanged: u64,
+}
+
 /// Literal implementation of the paper's hardware: n×n counters, all rows
 /// incremented on every commit. Used to validate [`FrequencyMatrix`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -271,6 +287,33 @@ impl DdvState {
         for m in &mut self.mats {
             m.clear();
         }
+    }
+
+    /// Export the full dynamic state for checkpointing.
+    pub fn export_state(&self) -> DdvSnap {
+        DdvSnap {
+            mats: self
+                .mats
+                .iter()
+                .map(|m| FrequencySnap { cum: m.cum.clone(), snap: m.snap.clone() })
+                .collect(),
+            queries: self.queries,
+            vectors_exchanged: self.vectors_exchanged,
+        }
+    }
+
+    /// Restore state captured by [`DdvState::export_state`]. Panics when the
+    /// snapshot was taken on a differently sized system.
+    pub fn import_state(&mut self, st: &DdvSnap) {
+        assert_eq!(st.mats.len(), self.n, "DDV snapshot is for a different machine");
+        for (m, s) in self.mats.iter_mut().zip(&st.mats) {
+            assert_eq!(s.cum.len(), m.cum.len(), "DDV snapshot is for a different machine");
+            assert_eq!(s.snap.len(), m.snap.len(), "DDV snapshot is for a different machine");
+            m.cum.copy_from_slice(&s.cum);
+            m.snap.copy_from_slice(&s.snap);
+        }
+        self.queries = st.queries;
+        self.vectors_exchanged = st.vectors_exchanged;
     }
 }
 

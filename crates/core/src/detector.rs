@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use dsm_sim::observer::{IntervalStats, SimObserver};
 
 use crate::bbv::BbvAccumulator;
-use crate::ddv::{DdsSample, DdvState, DegradedCollector};
+use crate::ddv::{DdsSample, DdvSnap, DdvState, DegradedCollector};
 use crate::footprint::FootprintTable;
 use crate::telem::{DetectorProbes, DetectorTelemetry, MetricsRegistry, Snapshot};
 use crate::working_set::WsSignature;
@@ -216,6 +216,53 @@ impl TraceCollector {
     pub fn total_intervals(&self) -> usize {
         self.records.iter().map(|r| r.len()).sum()
     }
+
+    /// Export the full dynamic state — mid-interval accumulators plus the
+    /// captured records — for checkpointing.
+    pub fn export_state(&self) -> CollectorState {
+        CollectorState {
+            bbv: self.bbv.iter().map(|b| b.raw().to_vec()).collect(),
+            ws: self.ws.iter().map(|w| w.words().to_vec()).collect(),
+            branches: self.branches.clone(),
+            ddv: self.ddv.export_state(),
+            records: self.records.clone(),
+        }
+    }
+
+    /// Restore state captured by [`TraceCollector::export_state`] into a
+    /// collector built with the same geometry and processor count.
+    pub fn import_state(&mut self, st: &CollectorState) {
+        assert_eq!(st.bbv.len(), self.bbv.len(), "collector snapshot is for a different machine");
+        assert_eq!(st.ws.len(), self.ws.len(), "collector snapshot is for a different machine");
+        for (b, raw) in self.bbv.iter_mut().zip(&st.bbv) {
+            assert_eq!(raw.len(), b.len(), "collector snapshot has a different BBV geometry");
+            *b = BbvAccumulator::from_raw(raw.clone());
+        }
+        for (w, words) in self.ws.iter_mut().zip(&st.ws) {
+            assert_eq!(words.len() * 64, w.bits(), "collector snapshot has a different WS geometry");
+            *w = WsSignature::from_words(words.clone());
+        }
+        self.branches.copy_from_slice(&st.branches);
+        self.ddv.import_state(&st.ddv);
+        self.records = st.records.clone();
+    }
+}
+
+/// [`TraceCollector`]'s complete dynamic state: the mid-interval hardware
+/// accumulators (raw BBV buckets, working-set words, branch counts, DDV
+/// matrices) plus every interval record captured so far. Geometry and the
+/// distance matrix are config-derived and not stored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectorState {
+    /// Raw BBV bucket values per processor.
+    pub bbv: Vec<Vec<u64>>,
+    /// Working-set signature words per processor.
+    pub ws: Vec<Vec<u64>>,
+    /// Committed branch count per processor (current interval).
+    pub branches: Vec<u64>,
+    pub ddv: DdvSnap,
+    /// Captured records, per processor, in interval order.
+    pub records: Vec<Vec<IntervalRecord>>,
 }
 
 impl SimObserver for TraceCollector {

@@ -38,10 +38,10 @@ pub mod telem;
 pub mod working_set;
 
 pub use bbv::BbvAccumulator;
-pub use ddv::{DdvState, DegradedCollector, FrequencyMatrix};
+pub use ddv::{DdvSnap, DdvState, DegradedCollector, FrequencyMatrix, FrequencySnap};
 pub use detector::{
-    AvailabilityModel, ClassifiedInterval, DetectorMode, IntervalRecord, OnlineDetector,
-    Thresholds, TraceClassifier, TraceCollector,
+    AvailabilityModel, ClassifiedInterval, CollectorState, DetectorMode, IntervalRecord,
+    OnlineDetector, Thresholds, TraceClassifier, TraceCollector,
 };
 pub use footprint::{FootprintTable, Match};
 pub use predictor::{LastPhasePredictor, Markov2Predictor, PhasePredictor, RlePredictor};

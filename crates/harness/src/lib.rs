@@ -23,6 +23,8 @@
 //! * [`json`] — the deterministic JSON value type the engine's artefacts
 //!   are written with;
 //! * [`report`] — results-directory output helpers;
+//! * [`simpoint`] — phase-guided sampled simulation: checkpoint capture,
+//!   representative replay, and whole-run CPI reconstruction;
 //! * [`telemetry`] — instrumented captures and the Chrome-trace / JSONL /
 //!   summary exporters behind every binary's `--telemetry-out` flag.
 
@@ -35,6 +37,7 @@ pub mod overhead;
 pub mod parallel;
 pub mod report;
 pub mod sensitivity;
+pub mod simpoint;
 pub mod sweep;
 pub mod tables;
 pub mod telemetry;
@@ -43,5 +46,6 @@ pub mod trace;
 pub use experiment::ExperimentConfig;
 pub use faults::{fault_sweep, FaultPoint, FaultSweep};
 pub use parallel::{capture_matrix, par_map, RunReport, TraceStore};
+pub use simpoint::{sampled_run, SimpointResult};
 pub use sweep::{bbv_curve, bbv_ddv_curve};
 pub use trace::{capture, capture_with_faults, SystemTrace};

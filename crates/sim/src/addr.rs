@@ -103,6 +103,24 @@ impl HomeMap {
         }
     }
 
+    /// Export the first-touch page table (sorted by page index) for
+    /// checkpointing; empty for the stateless placement policies.
+    pub fn export_state(&self) -> crate::state::HomeMapState {
+        let mut first_touch: Vec<(u64, usize)> =
+            self.first_touch.iter().map(|(&p, &n)| (p, n)).collect();
+        first_touch.sort_unstable_by_key(|&(p, _)| p);
+        crate::state::HomeMapState { first_touch }
+    }
+
+    /// Restore state captured by [`HomeMap::export_state`], replacing the
+    /// current page table.
+    pub fn import_state(&mut self, st: &crate::state::HomeMapState) {
+        self.first_touch.clear();
+        for &(p, n) in &st.first_touch {
+            self.first_touch.insert(p, n);
+        }
+    }
+
     /// Home lookup that must not mutate state; panics for first-touch pages
     /// never touched before. Used by read-only analyses.
     pub fn home_readonly(&self, addr: Addr) -> NodeId {

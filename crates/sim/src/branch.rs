@@ -88,6 +88,31 @@ impl Gshare {
             self.mispredictions as f64 / self.predictions as f64
         }
     }
+
+    /// Export the predictor state for checkpointing (the counter table as
+    /// raw bytes plus history and counters; mask/history width are derived
+    /// from the table size).
+    pub fn export_state(&self) -> crate::state::GshareState {
+        crate::state::GshareState {
+            table: self.table.iter().map(|c| c.0).collect(),
+            history: self.history,
+            predictions: self.predictions,
+            mispredictions: self.mispredictions,
+        }
+    }
+
+    /// Restore state captured by [`Gshare::export_state`] on a predictor
+    /// with the same table size.
+    pub fn import_state(&mut self, st: &crate::state::GshareState) {
+        assert_eq!(st.table.len(), self.table.len(), "gshare size mismatch");
+        for (c, &b) in self.table.iter_mut().zip(&st.table) {
+            debug_assert!(b <= 3, "2-bit counter out of range");
+            *c = Counter(b);
+        }
+        self.history = st.history;
+        self.predictions = st.predictions;
+        self.mispredictions = st.mispredictions;
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,30 @@ impl Cache {
     pub fn flush(&mut self) {
         self.tags.fill(0);
     }
+
+    /// Export the dynamic state (tag/LRU arrays and counters) for
+    /// checkpointing. Geometry is config-derived and not included.
+    pub fn export_state(&self) -> crate::state::CacheState {
+        crate::state::CacheState {
+            tags: self.tags.clone(),
+            lru: self.lru.clone(),
+            clock: self.clock,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Restore dynamic state captured by [`Cache::export_state`] on a cache
+    /// with the same geometry.
+    pub fn import_state(&mut self, st: &crate::state::CacheState) {
+        assert_eq!(st.tags.len(), self.tags.len(), "cache geometry mismatch");
+        assert_eq!(st.lru.len(), self.lru.len(), "cache geometry mismatch");
+        self.tags.copy_from_slice(&st.tags);
+        self.lru.copy_from_slice(&st.lru);
+        self.clock = st.clock;
+        self.hits = st.hits;
+        self.misses = st.misses;
+    }
 }
 
 #[cfg(test)]

@@ -243,6 +243,25 @@ impl Directory {
     pub fn tracked_blocks(&self) -> usize {
         self.map.len()
     }
+
+    /// Export the directory contents (sorted by block index, so equal maps
+    /// export to equal vectors) and stats for checkpointing.
+    pub fn export_state(&self) -> crate::state::DirectoryState {
+        let mut entries: Vec<(u64, DirState)> =
+            self.map.iter().map(|(&b, &s)| (b, s)).collect();
+        entries.sort_unstable_by_key(|&(b, _)| b);
+        crate::state::DirectoryState { entries, stats: self.stats }
+    }
+
+    /// Restore state captured by [`Directory::export_state`], replacing the
+    /// current contents.
+    pub fn import_state(&mut self, st: &crate::state::DirectoryState) {
+        self.map.clear();
+        for &(b, s) in &st.entries {
+            self.map.insert(b, s);
+        }
+        self.stats = st.stats;
+    }
 }
 
 #[cfg(test)]

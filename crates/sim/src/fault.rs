@@ -202,6 +202,20 @@ impl FaultState {
         self.stats
     }
 
+    /// Export the RNG position (the draw counter *is* the whole stream
+    /// state) and the per-class counters for checkpointing. The plan itself
+    /// travels with the config.
+    pub fn export_state(&self) -> crate::state::FaultSnap {
+        crate::state::FaultSnap { draws: self.draws, stats: self.stats }
+    }
+
+    /// Restore state captured by [`FaultState::export_state`] on a fault
+    /// layer built from the same plan.
+    pub fn import_state(&mut self, st: &crate::state::FaultSnap) {
+        self.draws = st.draws;
+        self.stats = st.stats;
+    }
+
     #[inline]
     fn draw(&mut self) -> u64 {
         self.draws += 1;

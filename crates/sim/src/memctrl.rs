@@ -93,6 +93,24 @@ impl MemCtrl {
         }
     }
 
+    /// Export bank horizons and counters for checkpointing.
+    pub fn export_state(&self) -> crate::state::MemCtrlState {
+        crate::state::MemCtrlState {
+            busy_until: self.busy_until.clone(),
+            requests: self.requests,
+            total_queue_delay: self.total_queue_delay,
+        }
+    }
+
+    /// Restore state captured by [`MemCtrl::export_state`] on a controller
+    /// with the same bank count.
+    pub fn import_state(&mut self, st: &crate::state::MemCtrlState) {
+        assert_eq!(st.busy_until.len(), self.busy_until.len(), "bank count mismatch");
+        self.busy_until.copy_from_slice(&st.busy_until);
+        self.requests = st.requests;
+        self.total_queue_delay = st.total_queue_delay;
+    }
+
     /// Mean queueing delay per request so far (0 when idle).
     pub fn mean_queue_delay(&self) -> f64 {
         if self.requests == 0 {

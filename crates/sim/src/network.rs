@@ -172,6 +172,29 @@ impl Network {
             link_wait_cycles: self.link_wait_cycles,
         }
     }
+
+    /// Export traffic counters and link-occupancy horizons for
+    /// checkpointing.
+    pub fn export_state(&self) -> crate::state::NetworkState {
+        crate::state::NetworkState {
+            msgs: self.msgs,
+            payload_msgs: self.payload_msgs,
+            total_hops: self.total_hops,
+            link_wait_cycles: self.link_wait_cycles,
+            link_busy: self.link_busy.clone(),
+        }
+    }
+
+    /// Restore state captured by [`Network::export_state`] on a network of
+    /// the same topology.
+    pub fn import_state(&mut self, st: &crate::state::NetworkState) {
+        assert_eq!(st.link_busy.len(), self.link_busy.len(), "topology mismatch");
+        self.msgs = st.msgs;
+        self.payload_msgs = st.payload_msgs;
+        self.total_hops = st.total_hops;
+        self.link_wait_cycles = st.link_wait_cycles;
+        self.link_busy.copy_from_slice(&st.link_busy);
+    }
 }
 
 #[cfg(test)]

@@ -164,6 +164,44 @@ impl Processor {
     pub fn sync_stats(&mut self) {
         self.stats.cycles = self.cycle;
     }
+
+    /// Export the full dynamic state (cycle accounting, interval
+    /// bookkeeping, caches, predictor, stats) for checkpointing.
+    pub fn export_state(&self) -> crate::state::ProcessorState {
+        crate::state::ProcessorState {
+            cycle: self.cycle,
+            commit_carry: self.commit_carry,
+            fp_carry: self.fp_carry,
+            interval_progress: self.interval_progress,
+            interval_start_cycle: self.interval_start_cycle,
+            interval_index: self.interval_index,
+            finished: self.finished,
+            blocked: self.blocked,
+            blocked_since: self.blocked_since,
+            stats: self.stats,
+            l1: self.l1.export_state(),
+            l2: self.l2.export_state(),
+            gshare: self.gshare.export_state(),
+        }
+    }
+
+    /// Restore state captured by [`Processor::export_state`] on a processor
+    /// built from the same configuration.
+    pub fn import_state(&mut self, st: &crate::state::ProcessorState) {
+        self.cycle = st.cycle;
+        self.commit_carry = st.commit_carry;
+        self.fp_carry = st.fp_carry;
+        self.interval_progress = st.interval_progress;
+        self.interval_start_cycle = st.interval_start_cycle;
+        self.interval_index = st.interval_index;
+        self.finished = st.finished;
+        self.blocked = st.blocked;
+        self.blocked_since = st.blocked_since;
+        self.stats = st.stats;
+        self.l1.import_state(&st.l1);
+        self.l2.import_state(&st.l2);
+        self.gshare.import_state(&st.gshare);
+    }
 }
 
 #[cfg(test)]

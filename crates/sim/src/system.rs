@@ -19,6 +19,7 @@ use crate::network::Network;
 use crate::observer::{IntervalStats, SimObserver};
 use crate::processor::Processor;
 use crate::sched::MinTree;
+use crate::state::{BarrierSnap, LockSnap, SystemState};
 use crate::stats::SystemStats;
 use crate::telem::{SimProbes, SimTelemetry, Snapshot};
 use crate::util::FxHashMap;
@@ -60,6 +61,11 @@ pub struct System<S: InstructionStream, O: SimObserver> {
     /// canonical position in the global `(cycle, id)` order rather than
     /// inside a compute batch.
     pending: Vec<Option<Event>>,
+    /// Events fetched from the stream per processor (parked ones included).
+    /// Checkpoint restore replays exactly this many `stream.next(p)` calls
+    /// on a fresh stream to reposition it — streams are deterministic, so
+    /// the count is the entire stream state.
+    fetched: Vec<u64>,
     /// Telemetry recorder: the real facade under the `telemetry` feature,
     /// a zero-sized no-op stub otherwise (see [`crate::telem`]).
     telem: SimTelemetry,
@@ -99,6 +105,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             events_executed: 0,
             sched: MinTree::new(n),
             pending: vec![None; n],
+            fetched: vec![0; n],
             telem,
             probes,
             cfg,
@@ -173,7 +180,10 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         };
         let ev = match self.pending[p].take() {
             Some(ev) => ev,
-            None => self.stream.next(p),
+            None => {
+                self.fetched[p] += 1;
+                self.stream.next(p)
+            }
         };
         self.events_executed += 1;
         self.dispatch(p, ev);
@@ -205,7 +215,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         let mut batched = 0u64;
         let mut block_insns = 0u64;
         let mut fp_ops = 0u64;
-        let Self { procs, stream, observer, .. } = self;
+        let Self { procs, stream, observer, fetched, .. } = self;
         let pr = &mut procs[p];
         let tail = loop {
             let ev = stream.next(p);
@@ -233,6 +243,8 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         if fp_ops > 0 {
             pr.commit_fp(fp_ops);
         }
+        // The batch plus its terminating tail all came off the stream.
+        fetched[p] += batched + 1;
         self.events_executed += batched;
         if batched > 0 {
             self.pending[p] = Some(tail);
@@ -598,6 +610,114 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
     /// Events executed so far (diagnostics).
     pub fn events_executed(&self) -> u64 {
         self.events_executed
+    }
+
+    /// Minimum sampling-interval index over unfinished processors —
+    /// the *global* interval boundary the run has fully passed. `u64::MAX`
+    /// once every processor has finished.
+    pub fn min_interval_index(&self) -> u64 {
+        self.procs
+            .iter()
+            .filter(|pr| !pr.finished)
+            .map(|pr| pr.interval_index())
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Run (batched) until every unfinished processor has completed at
+    /// least `target` sampling intervals, i.e. until the global interval
+    /// boundary `target` is reached. Returns true when the boundary was
+    /// reached, false when the workload finished first. A `target` of 0
+    /// returns immediately — the pre-run state *is* boundary 0.
+    pub fn run_to_interval(&mut self, target: u64) -> bool {
+        loop {
+            if self.min_interval_index() >= target {
+                return true;
+            }
+            if !self.step_batched() {
+                return false;
+            }
+        }
+    }
+
+    /// Like [`System::run`] for a system that has already been stepped
+    /// (e.g. via [`System::run_to_interval`] or after
+    /// [`System::restore_state`]): drive to completion and return the final
+    /// stats plus the observer.
+    pub fn run_to_end(mut self) -> (SystemStats, O) {
+        while self.step_batched() {}
+        let stats = self.finish_stats();
+        (stats, self.observer)
+    }
+
+    /// Capture the complete dynamic state of the machine. Combined with a
+    /// fresh stream fast-forwarded by [`SystemState::fetched`] and a
+    /// restored observer, [`System::restore_state`] resumes bit-identically.
+    pub fn state_snapshot(&self) -> SystemState {
+        let mut locks: Vec<LockSnap> = self
+            .locks
+            .iter()
+            .map(|(&id, st)| LockSnap {
+                id,
+                owner: st.owner,
+                waiters: st.waiters.iter().copied().collect(),
+            })
+            .collect();
+        locks.sort_unstable_by_key(|l| l.id);
+        SystemState {
+            procs: self.procs.iter().map(|pr| pr.export_state()).collect(),
+            directory: self.dir.export_state(),
+            network: self.net.export_state(),
+            memctrls: self.memctrls.iter().map(|m| m.export_state()).collect(),
+            home: self.homes.export_state(),
+            locks,
+            barrier: BarrierSnap {
+                current_id: self.barrier.current_id,
+                arrived_mask: self.barrier.arrived_mask,
+                arrival_cycle: self.barrier.arrival_cycle.clone(),
+            },
+            fault: self.fault.export_state(),
+            pending: self.pending.clone(),
+            events_executed: self.events_executed,
+            fetched: self.fetched.clone(),
+        }
+    }
+
+    /// Restore state captured by [`System::state_snapshot`]. The system
+    /// must have been built from the same configuration, with a stream
+    /// already fast-forwarded by `st.fetched[p]` calls to `next(p)` per
+    /// processor and an observer restored to its snapshot-time state.
+    /// Telemetry spans recorded before the snapshot are not replayed; the
+    /// simulation itself (stats, observer stream) continues bit-identically.
+    pub fn restore_state(&mut self, st: &SystemState) {
+        assert_eq!(st.procs.len(), self.cfg.n_procs, "snapshot is for a different machine");
+        for (pr, ps) in self.procs.iter_mut().zip(&st.procs) {
+            pr.import_state(ps);
+        }
+        self.dir.import_state(&st.directory);
+        self.net.import_state(&st.network);
+        for (m, ms) in self.memctrls.iter_mut().zip(&st.memctrls) {
+            m.import_state(ms);
+        }
+        self.homes.import_state(&st.home);
+        self.locks.clear();
+        for l in &st.locks {
+            self.locks.insert(
+                l.id,
+                LockState { owner: l.owner, waiters: l.waiters.iter().copied().collect() },
+            );
+        }
+        self.barrier.current_id = st.barrier.current_id;
+        self.barrier.arrived_mask = st.barrier.arrived_mask;
+        self.barrier.arrival_cycle.copy_from_slice(&st.barrier.arrival_cycle);
+        self.fault.import_state(&st.fault);
+        self.pending.copy_from_slice(&st.pending);
+        self.events_executed = st.events_executed;
+        self.fetched.copy_from_slice(&st.fetched);
+        // Rebuild the scheduler from the restored processor states.
+        for p in 0..self.cfg.n_procs {
+            self.refresh_key(p);
+        }
     }
 }
 
@@ -1030,6 +1150,146 @@ mod tests {
                 "test must exercise interval completion (seed {seed})"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        #[derive(Clone, PartialEq, Debug, Default)]
+        struct Log {
+            blocks: Vec<(u32, u32)>,
+            mems: Vec<(usize, u64, bool)>,
+            intervals: Vec<(u64, u64, u64)>,
+        }
+        struct Rec(Vec<Log>);
+        impl SimObserver for Rec {
+            fn on_block_commit(&mut self, p: usize, bb: u32, insns: u32) {
+                self.0[p].blocks.push((bb, insns));
+            }
+            fn on_mem_commit(&mut self, p: usize, home: usize, addr: u64, write: bool) {
+                self.0[p].mems.push((home, addr, write));
+            }
+            fn on_interval(&mut self, p: usize, s: IntervalStats) {
+                self.0[p].intervals.push((s.index, s.insns, s.cycles));
+            }
+        }
+
+        let n = 4usize;
+        let mk_events = |seed: u64| -> Vec<Vec<Event>> {
+            (0..n)
+                .map(|p| {
+                    let mut x = seed ^ ((p as u64 + 1) << 32);
+                    let mut rnd = move || {
+                        x = crate::util::splitmix64(x);
+                        x
+                    };
+                    let mut evs = Vec::new();
+                    for round in 0..8u32 {
+                        for _ in 0..(rnd() % 60 + 20) {
+                            match rnd() % 6 {
+                                0 => evs.push(Event::Mem {
+                                    addr: explicit_addr(
+                                        (rnd() % n as u64) as usize,
+                                        (rnd() % 2048) * 32,
+                                    ),
+                                    write: rnd() % 3 == 0,
+                                }),
+                                1 => evs.push(Event::Fp { ops: (rnd() % 9 + 1) as u32 }),
+                                _ => evs.push(Event::Block {
+                                    bb: (rnd() % 23) as u32,
+                                    insns: (rnd() % 25 + 4) as u32,
+                                    taken: rnd() % 2 == 0,
+                                }),
+                            }
+                        }
+                        let lock = (rnd() % 2) as u32;
+                        evs.push(Event::Acquire { lock });
+                        evs.push(Event::Block { bb: 77, insns: (rnd() % 40 + 1) as u32, taken: true });
+                        evs.push(Event::Release { lock });
+                        evs.push(Event::Barrier { id: round });
+                    }
+                    evs
+                })
+                .collect()
+        };
+
+        for plan in [
+            crate::config::FaultPlan::none(),
+            crate::config::FaultPlan::mixed(11, 0.05),
+        ] {
+            for seed in [3u64, 0xfeed] {
+                let mut cfg = SystemConfig::with_interval_base(n, 400); // interval = 100
+                cfg.fault = plan;
+                let recorder = || Rec(vec![Log::default(); n]);
+
+                // Golden: run straight through.
+                let (stats_a, obs_a) =
+                    System::new(cfg.clone(), Script::new(mk_events(seed)), recorder()).run();
+
+                // Checkpointed: run to a global interval boundary, snapshot.
+                let mut sys =
+                    System::new(cfg.clone(), Script::new(mk_events(seed)), recorder());
+                assert!(sys.run_to_interval(2), "workload must reach boundary 2");
+                assert!(sys.min_interval_index() >= 2);
+                let snap = sys.state_snapshot();
+                let obs_at_snap = sys.observer().0.clone();
+
+                // The snapshotted machine itself must continue unperturbed.
+                let (stats_c, obs_c) = sys.run_to_end();
+                assert_eq!(stats_a, stats_c, "snapshot must not perturb (seed {seed})");
+                assert_eq!(obs_a.0, obs_c.0);
+
+                // A fresh machine + fast-forwarded stream + restored
+                // observer must finish bit-identically.
+                let mut stream = Script::new(mk_events(seed));
+                for p in 0..n {
+                    for _ in 0..snap.fetched[p] {
+                        let _ = stream.next(p);
+                    }
+                }
+                let mut restored = System::new(cfg, stream, Rec(obs_at_snap));
+                restored.restore_state(&snap);
+                let (stats_b, obs_b) = restored.run_to_end();
+                assert_eq!(stats_a, stats_b, "restored run diverged (seed {seed})");
+                assert_eq!(obs_a.0, obs_b.0, "observer streams diverged (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn state_snapshot_roundtrips_through_equality() {
+        // snapshot -> restore into a twin -> snapshot again must be equal,
+        // including mid-flight pending events and lock/barrier state.
+        let a = explicit_addr(0, 0x40);
+        let evs = |_p: usize| {
+            vec![
+                Event::Block { bb: 1, insns: 30, taken: true },
+                Event::Mem { addr: a, write: true },
+                Event::Block { bb: 2, insns: 30, taken: false },
+            ]
+        };
+        let mut sys = System::new(
+            SystemConfig::with_interval_base(2, 100),
+            Script::new(vec![evs(0), evs(1)]),
+            NullObserver,
+        );
+        for _ in 0..3 {
+            sys.step_batched();
+        }
+        let snap = sys.state_snapshot();
+        let mut stream = Script::new(vec![evs(0), evs(1)]);
+        for p in 0..2 {
+            for _ in 0..snap.fetched[p] {
+                let _ = stream.next(p);
+            }
+        }
+        let mut twin = System::new(
+            SystemConfig::with_interval_base(2, 100),
+            stream,
+            NullObserver,
+        );
+        twin.restore_state(&snap);
+        assert_eq!(twin.state_snapshot(), snap);
+        assert_eq!(twin.events_executed(), sys.events_executed());
     }
 
     /// Shared workload for the telemetry tests: enough misses and interval

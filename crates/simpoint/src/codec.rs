@@ -1,0 +1,933 @@
+//! Versioned, deterministic binary checkpoint codec (`DSMCKPT1`).
+//!
+//! A checkpoint is the pair (simulator state, detector-collector state) at a
+//! global interval boundary, plus the metadata needed to rebuild the machine
+//! and fast-forward a fresh instruction stream to the same position. The
+//! encoding is fully deterministic (little-endian integers, `f64` as raw
+//! bits, all maps pre-sorted by key in the snapshot layer), so encoding the
+//! same state twice yields byte-identical buffers — which the harness relies
+//! on for byte-identical artefact reruns.
+//!
+//! Decoding is total: corrupt or truncated input of any shape produces a
+//! typed [`CkptError`], never a panic or an attempted huge allocation. Every
+//! length prefix is validated against the bytes actually remaining before a
+//! buffer is reserved (the same guard idiom as the harness trace codec), and
+//! all enum tags and booleans are range-checked.
+
+use dsm_phase::ddv::{DdvSnap, FrequencySnap};
+use dsm_phase::detector::{CollectorState, DetectorGeometry, IntervalRecord};
+use dsm_sim::config::{FaultPlan, RetryPolicy};
+use dsm_sim::directory::DirState;
+use dsm_sim::event::Event;
+use dsm_sim::state::{
+    BarrierSnap, CacheState, DirectoryState, FaultSnap, GshareState, HomeMapState, LockSnap,
+    MemCtrlState, NetworkState, ProcessorState, SystemState,
+};
+use dsm_workloads::{App, Scale};
+
+/// Magic prefix: format name plus version digit.
+pub const MAGIC: &[u8; 8] = b"DSMCKPT1";
+
+/// Decode failure. Every variant is reachable from corrupt input; none of
+/// them panic or allocate unboundedly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The buffer ended before the structure it claims to hold.
+    Truncated,
+    /// Well-formed structure followed by unconsumed bytes.
+    TrailingBytes,
+    /// An enum tag out of range.
+    BadTag { what: &'static str, tag: u64 },
+    /// A value that parses but cannot describe a real machine
+    /// (e.g. mismatched per-processor vector lengths).
+    BadValue { what: &'static str },
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::BadMagic => write!(f, "not a DSMCKPT1 checkpoint (bad magic)"),
+            CkptError::Truncated => write!(f, "checkpoint truncated"),
+            CkptError::TrailingBytes => write!(f, "trailing bytes after checkpoint"),
+            CkptError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
+            CkptError::BadValue { what } => write!(f, "inconsistent checkpoint field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Everything needed to rebuild the machine a [`SystemState`] belongs to:
+/// the experiment coordinates (app, processor count, input scale, interval
+/// base), the fault plan, and the detector geometry. `interval_index` is the
+/// global interval boundary the snapshot sits at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMeta {
+    pub app: App,
+    pub n_procs: usize,
+    pub scale: Scale,
+    pub interval_base: u64,
+    pub plan: FaultPlan,
+    pub geometry: DetectorGeometry,
+    pub interval_index: u64,
+}
+
+/// A complete checkpoint: metadata, simulator state, collector state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    pub meta: CheckpointMeta,
+    pub system: SystemState,
+    pub collector: CollectorState,
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct W {
+    out: Vec<u8>,
+}
+
+impl W {
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn boolean(&mut self, v: bool) {
+        self.out.push(v as u8);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn vec_u64(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+    fn vec_u8(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.out.extend_from_slice(v);
+    }
+    fn vec_f64(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+    fn event(&mut self, e: &Event) {
+        match *e {
+            Event::End => self.u8(0),
+            Event::Block { bb, insns, taken } => {
+                self.u8(1);
+                self.u64(bb as u64);
+                self.u64(insns as u64);
+                self.boolean(taken);
+            }
+            Event::Mem { addr, write } => {
+                self.u8(2);
+                self.u64(addr);
+                self.boolean(write);
+            }
+            Event::Fp { ops } => {
+                self.u8(3);
+                self.u64(ops as u64);
+            }
+            Event::Barrier { id } => {
+                self.u8(4);
+                self.u64(id as u64);
+            }
+            Event::Acquire { lock } => {
+                self.u8(5);
+                self.u64(lock as u64);
+            }
+            Event::Release { lock } => {
+                self.u8(6);
+                self.u64(lock as u64);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct R<'a> {
+    b: &'a [u8],
+}
+
+type D<T> = Result<T, CkptError>;
+
+impl<'a> R<'a> {
+    fn u64(&mut self) -> D<u64> {
+        if self.b.len() < 8 {
+            return Err(CkptError::Truncated);
+        }
+        let (head, tail) = self.b.split_at(8);
+        self.b = tail;
+        Ok(u64::from_le_bytes(head.try_into().unwrap()))
+    }
+    fn u8(&mut self) -> D<u8> {
+        match self.b.split_first() {
+            Some((&v, tail)) => {
+                self.b = tail;
+                Ok(v)
+            }
+            None => Err(CkptError::Truncated),
+        }
+    }
+    fn boolean(&mut self, what: &'static str) -> D<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CkptError::BadTag { what, tag: t as u64 }),
+        }
+    }
+    fn f64(&mut self) -> D<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn u32_checked(&mut self, what: &'static str) -> D<u32> {
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| CkptError::BadValue { what })
+    }
+    fn usize_checked(&mut self, what: &'static str) -> D<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CkptError::BadValue { what })
+    }
+    /// Length prefix for items at least `min_bytes` each: reject lengths
+    /// that could not possibly fit in the remaining buffer *before*
+    /// reserving space for them.
+    fn len(&mut self, min_bytes: usize) -> D<usize> {
+        let n = self.u64()? as usize;
+        if n > self.b.len() / min_bytes.max(1) + 1 {
+            return Err(CkptError::Truncated);
+        }
+        Ok(n)
+    }
+    fn vec_u64(&mut self) -> D<Vec<u64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn vec_u8(&mut self) -> D<Vec<u8>> {
+        let n = self.len(1)?;
+        if self.b.len() < n {
+            return Err(CkptError::Truncated);
+        }
+        let (head, tail) = self.b.split_at(n);
+        self.b = tail;
+        Ok(head.to_vec())
+    }
+    fn vec_f64(&mut self) -> D<Vec<f64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn opt_u64(&mut self, what: &'static str) -> D<Option<u64>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(CkptError::BadTag { what, tag: t as u64 }),
+        }
+    }
+    fn event(&mut self) -> D<Event> {
+        Ok(match self.u8()? {
+            0 => Event::End,
+            1 => Event::Block {
+                bb: self.u32_checked("event bb")?,
+                insns: self.u32_checked("event insns")?,
+                taken: self.boolean("event taken")?,
+            },
+            2 => Event::Mem { addr: self.u64()?, write: self.boolean("event write")? },
+            3 => Event::Fp { ops: self.u32_checked("event ops")? },
+            4 => Event::Barrier { id: self.u32_checked("event id")? },
+            5 => Event::Acquire { lock: self.u32_checked("event lock")? },
+            6 => Event::Release { lock: self.u32_checked("event lock")? },
+            t => return Err(CkptError::BadTag { what: "event", tag: t as u64 }),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structure encoders / decoders
+// ---------------------------------------------------------------------------
+
+fn put_cache(w: &mut W, c: &CacheState) {
+    w.vec_u64(&c.tags);
+    w.vec_u64(&c.lru);
+    w.u64(c.clock);
+    w.u64(c.hits);
+    w.u64(c.misses);
+}
+
+fn get_cache(r: &mut R) -> D<CacheState> {
+    Ok(CacheState {
+        tags: r.vec_u64()?,
+        lru: r.vec_u64()?,
+        clock: r.u64()?,
+        hits: r.u64()?,
+        misses: r.u64()?,
+    })
+}
+
+fn put_proc(w: &mut W, p: &ProcessorState) {
+    w.u64(p.cycle);
+    w.u64(p.commit_carry);
+    w.u64(p.fp_carry);
+    w.u64(p.interval_progress);
+    w.u64(p.interval_start_cycle);
+    w.u64(p.interval_index);
+    w.boolean(p.finished);
+    w.boolean(p.blocked);
+    w.u64(p.blocked_since);
+    let s = &p.stats;
+    for v in [
+        s.cycles,
+        s.insns,
+        s.sync_ops,
+        s.sync_wait_cycles,
+        s.mem_refs,
+        s.l1_misses,
+        s.l2_misses,
+        s.local_home_misses,
+        s.remote_home_misses,
+        s.mem_stall_cycles,
+        s.contention_cycles,
+        s.mispredicts,
+        s.branches,
+        s.intervals,
+    ] {
+        w.u64(v);
+    }
+    put_cache(w, &p.l1);
+    put_cache(w, &p.l2);
+    w.vec_u8(&p.gshare.table);
+    w.u64(p.gshare.history);
+    w.u64(p.gshare.predictions);
+    w.u64(p.gshare.mispredictions);
+}
+
+fn get_proc(r: &mut R) -> D<ProcessorState> {
+    let cycle = r.u64()?;
+    let commit_carry = r.u64()?;
+    let fp_carry = r.u64()?;
+    let interval_progress = r.u64()?;
+    let interval_start_cycle = r.u64()?;
+    let interval_index = r.u64()?;
+    let finished = r.boolean("proc finished")?;
+    let blocked = r.boolean("proc blocked")?;
+    let blocked_since = r.u64()?;
+    let stats = dsm_sim::ProcStats {
+        cycles: r.u64()?,
+        insns: r.u64()?,
+        sync_ops: r.u64()?,
+        sync_wait_cycles: r.u64()?,
+        mem_refs: r.u64()?,
+        l1_misses: r.u64()?,
+        l2_misses: r.u64()?,
+        local_home_misses: r.u64()?,
+        remote_home_misses: r.u64()?,
+        mem_stall_cycles: r.u64()?,
+        contention_cycles: r.u64()?,
+        mispredicts: r.u64()?,
+        branches: r.u64()?,
+        intervals: r.u64()?,
+    };
+    let l1 = get_cache(r)?;
+    let l2 = get_cache(r)?;
+    let table = r.vec_u8()?;
+    if table.iter().any(|&c| c > 3) {
+        return Err(CkptError::BadValue { what: "gshare counter > 3" });
+    }
+    Ok(ProcessorState {
+        cycle,
+        commit_carry,
+        fp_carry,
+        interval_progress,
+        interval_start_cycle,
+        interval_index,
+        finished,
+        blocked,
+        blocked_since,
+        stats,
+        l1,
+        l2,
+        gshare: GshareState {
+            table,
+            history: r.u64()?,
+            predictions: r.u64()?,
+            mispredictions: r.u64()?,
+        },
+    })
+}
+
+fn put_system(w: &mut W, s: &SystemState) {
+    w.u64(s.procs.len() as u64);
+    for p in &s.procs {
+        put_proc(w, p);
+    }
+    w.u64(s.directory.entries.len() as u64);
+    for &(block, state) in &s.directory.entries {
+        w.u64(block);
+        match state {
+            DirState::Shared(mask) => {
+                w.u8(0);
+                w.u64(mask);
+            }
+            DirState::Exclusive(owner) => {
+                w.u8(1);
+                w.u64(owner as u64);
+            }
+        }
+    }
+    let d = &s.directory.stats;
+    for v in [d.reads, d.writes, d.owner_forwards, d.invalidations, d.upgrades, d.writebacks, d.nacks]
+    {
+        w.u64(v);
+    }
+    w.u64(s.network.msgs);
+    w.u64(s.network.payload_msgs);
+    w.u64(s.network.total_hops);
+    w.u64(s.network.link_wait_cycles);
+    w.vec_u64(&s.network.link_busy);
+    w.u64(s.memctrls.len() as u64);
+    for m in &s.memctrls {
+        w.vec_u64(&m.busy_until);
+        w.u64(m.requests);
+        w.u64(m.total_queue_delay);
+    }
+    w.u64(s.home.first_touch.len() as u64);
+    for &(page, node) in &s.home.first_touch {
+        w.u64(page);
+        w.u64(node as u64);
+    }
+    w.u64(s.locks.len() as u64);
+    for l in &s.locks {
+        w.u64(l.id as u64);
+        w.opt_u64(l.owner.map(|o| o as u64));
+        w.vec_u64(&l.waiters.iter().map(|&x| x as u64).collect::<Vec<_>>());
+    }
+    w.opt_u64(s.barrier.current_id.map(|i| i as u64));
+    w.u64(s.barrier.arrived_mask);
+    w.vec_u64(&s.barrier.arrival_cycle);
+    w.u64(s.fault.draws);
+    let f = &s.fault.stats;
+    for v in [
+        f.messages,
+        f.drops,
+        f.retries,
+        f.forced_deliveries,
+        f.duplicates,
+        f.spikes,
+        f.spike_cycles,
+        f.timeout_wait_cycles,
+        f.slowdown_events,
+        f.slowdown_cycles,
+    ] {
+        w.u64(v);
+    }
+    w.u64(s.pending.len() as u64);
+    for p in &s.pending {
+        match p {
+            None => w.u8(0),
+            Some(e) => {
+                w.u8(1);
+                w.event(e);
+            }
+        }
+    }
+    w.u64(s.events_executed);
+    w.vec_u64(&s.fetched);
+}
+
+fn get_system(r: &mut R) -> D<SystemState> {
+    // ProcessorState is hundreds of bytes; 64 is a safe per-item floor for
+    // the pre-allocation guard.
+    let n = r.len(64)?;
+    let procs = (0..n).map(|_| get_proc(r)).collect::<D<Vec<_>>>()?;
+    let n_dir = r.len(17)?;
+    let mut entries = Vec::with_capacity(n_dir);
+    for _ in 0..n_dir {
+        let block = r.u64()?;
+        let state = match r.u8()? {
+            0 => DirState::Shared(r.u64()?),
+            1 => DirState::Exclusive(r.usize_checked("directory owner")?),
+            t => return Err(CkptError::BadTag { what: "directory state", tag: t as u64 }),
+        };
+        entries.push((block, state));
+    }
+    let stats = dsm_sim::directory::DirectoryStats {
+        reads: r.u64()?,
+        writes: r.u64()?,
+        owner_forwards: r.u64()?,
+        invalidations: r.u64()?,
+        upgrades: r.u64()?,
+        writebacks: r.u64()?,
+        nacks: r.u64()?,
+    };
+    let network = NetworkState {
+        msgs: r.u64()?,
+        payload_msgs: r.u64()?,
+        total_hops: r.u64()?,
+        link_wait_cycles: r.u64()?,
+        link_busy: r.vec_u64()?,
+    };
+    let n_mc = r.len(24)?;
+    let memctrls = (0..n_mc)
+        .map(|_| {
+            Ok(MemCtrlState {
+                busy_until: r.vec_u64()?,
+                requests: r.u64()?,
+                total_queue_delay: r.u64()?,
+            })
+        })
+        .collect::<D<Vec<_>>>()?;
+    let n_ft = r.len(16)?;
+    let mut first_touch = Vec::with_capacity(n_ft);
+    for _ in 0..n_ft {
+        let page = r.u64()?;
+        let node = r.usize_checked("first-touch node")?;
+        first_touch.push((page, node));
+    }
+    let n_locks = r.len(17)?;
+    let locks = (0..n_locks)
+        .map(|_| {
+            let id = r.u32_checked("lock id")?;
+            let owner = match r.opt_u64("lock owner")? {
+                None => None,
+                Some(o) => {
+                    Some(usize::try_from(o).map_err(|_| CkptError::BadValue { what: "lock owner" })?)
+                }
+            };
+            let waiters = r
+                .vec_u64()?
+                .into_iter()
+                .map(|x| usize::try_from(x).map_err(|_| CkptError::BadValue { what: "lock waiter" }))
+                .collect::<D<Vec<_>>>()?;
+            Ok(LockSnap { id, owner, waiters })
+        })
+        .collect::<D<Vec<_>>>()?;
+    let barrier = BarrierSnap {
+        current_id: match r.opt_u64("barrier id")? {
+            None => None,
+            Some(i) => {
+                Some(u32::try_from(i).map_err(|_| CkptError::BadValue { what: "barrier id" })?)
+            }
+        },
+        arrived_mask: r.u64()?,
+        arrival_cycle: r.vec_u64()?,
+    };
+    let fault = FaultSnap {
+        draws: r.u64()?,
+        stats: dsm_sim::FaultStats {
+            messages: r.u64()?,
+            drops: r.u64()?,
+            retries: r.u64()?,
+            forced_deliveries: r.u64()?,
+            duplicates: r.u64()?,
+            spikes: r.u64()?,
+            spike_cycles: r.u64()?,
+            timeout_wait_cycles: r.u64()?,
+            slowdown_events: r.u64()?,
+            slowdown_cycles: r.u64()?,
+        },
+    };
+    let n_pend = r.len(1)?;
+    let pending = (0..n_pend)
+        .map(|_| {
+            Ok(match r.u8()? {
+                0 => None,
+                1 => Some(r.event()?),
+                t => return Err(CkptError::BadTag { what: "pending slot", tag: t as u64 }),
+            })
+        })
+        .collect::<D<Vec<_>>>()?;
+    let st = SystemState {
+        procs,
+        directory: DirectoryState { entries, stats },
+        network,
+        memctrls,
+        home: HomeMapState { first_touch },
+        locks,
+        barrier,
+        fault,
+        pending,
+        events_executed: r.u64()?,
+        fetched: r.vec_u64()?,
+    };
+    let n = st.procs.len();
+    if n == 0
+        || st.pending.len() != n
+        || st.fetched.len() != n
+        || st.barrier.arrival_cycle.len() != n
+        || st.memctrls.len() != n
+    {
+        return Err(CkptError::BadValue { what: "per-processor vector lengths" });
+    }
+    Ok(st)
+}
+
+fn put_record(w: &mut W, rec: &IntervalRecord) {
+    w.u64(rec.proc as u64);
+    w.u64(rec.index);
+    w.u64(rec.insns);
+    w.u64(rec.cycles);
+    w.vec_f64(&rec.bbv);
+    w.vec_u64(&rec.fvec);
+    w.vec_u64(&rec.cvec);
+    w.f64(rec.dds);
+    w.vec_u64(&rec.ws_sig);
+    w.u64(rec.branches);
+}
+
+fn get_record(r: &mut R) -> D<IntervalRecord> {
+    Ok(IntervalRecord {
+        proc: r.usize_checked("record proc")?,
+        index: r.u64()?,
+        insns: r.u64()?,
+        cycles: r.u64()?,
+        bbv: r.vec_f64()?,
+        fvec: r.vec_u64()?,
+        cvec: r.vec_u64()?,
+        dds: r.f64()?,
+        ws_sig: r.vec_u64()?,
+        branches: r.u64()?,
+    })
+}
+
+fn put_collector(w: &mut W, c: &CollectorState) {
+    w.u64(c.bbv.len() as u64);
+    for b in &c.bbv {
+        w.vec_u64(b);
+    }
+    w.u64(c.ws.len() as u64);
+    for s in &c.ws {
+        w.vec_u64(s);
+    }
+    w.vec_u64(&c.branches);
+    w.u64(c.ddv.mats.len() as u64);
+    for m in &c.ddv.mats {
+        w.vec_u64(&m.cum);
+        w.vec_u64(&m.snap);
+    }
+    w.u64(c.ddv.queries);
+    w.u64(c.ddv.vectors_exchanged);
+    w.u64(c.records.len() as u64);
+    for recs in &c.records {
+        w.u64(recs.len() as u64);
+        for rec in recs {
+            put_record(w, rec);
+        }
+    }
+}
+
+fn get_collector(r: &mut R, n_procs: usize) -> D<CollectorState> {
+    let n_bbv = r.len(8)?;
+    let bbv = (0..n_bbv).map(|_| r.vec_u64()).collect::<D<Vec<_>>>()?;
+    let n_ws = r.len(8)?;
+    let ws = (0..n_ws).map(|_| r.vec_u64()).collect::<D<Vec<_>>>()?;
+    let branches = r.vec_u64()?;
+    let n_mats = r.len(16)?;
+    let mats = (0..n_mats)
+        .map(|_| Ok(FrequencySnap { cum: r.vec_u64()?, snap: r.vec_u64()? }))
+        .collect::<D<Vec<_>>>()?;
+    let ddv = DdvSnap { mats, queries: r.u64()?, vectors_exchanged: r.u64()? };
+    let n_rec = r.len(8)?;
+    let records = (0..n_rec)
+        .map(|_| {
+            let n = r.len(80)?;
+            (0..n).map(|_| get_record(r)).collect::<D<Vec<_>>>()
+        })
+        .collect::<D<Vec<_>>>()?;
+    let c = CollectorState { bbv, ws, branches, ddv, records };
+    if c.bbv.len() != n_procs
+        || c.ws.len() != n_procs
+        || c.branches.len() != n_procs
+        || c.ddv.mats.len() != n_procs
+        || c.records.len() != n_procs
+        || c.ddv.mats.iter().any(|m| m.cum.len() != n_procs || m.snap.len() != n_procs * n_procs)
+    {
+        return Err(CkptError::BadValue { what: "collector sized for a different machine" });
+    }
+    Ok(c)
+}
+
+impl Checkpoint {
+    /// Serialize to the `DSMCKPT1` byte format. Deterministic: the same
+    /// checkpoint always encodes to the same bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W { out: Vec::with_capacity(4096) };
+        w.out.extend_from_slice(MAGIC);
+        let m = &self.meta;
+        let app_idx = App::EXTENDED.iter().position(|a| *a == m.app).expect("known app") as u8;
+        w.u8(app_idx);
+        w.u64(m.n_procs as u64);
+        w.u8(match m.scale {
+            Scale::Test => 0,
+            Scale::Scaled => 1,
+            Scale::Paper => 2,
+        });
+        w.u64(m.interval_base);
+        let p = &m.plan;
+        w.u64(p.seed);
+        w.u64(p.drop_ppm as u64);
+        w.u64(p.duplicate_ppm as u64);
+        w.u64(p.spike_ppm as u64);
+        w.u64(p.spike_cycles);
+        w.u64(p.slowdown_ppm as u64);
+        w.u64(p.slowdown_window_cycles);
+        w.u64(p.slowdown_extra_num);
+        w.u64(p.retry.timeout_cycles);
+        w.u64(p.retry.max_backoff_cycles);
+        w.u64(p.retry.max_retries as u64);
+        w.u64(m.geometry.bbv_entries as u64);
+        w.u64(m.geometry.footprint_vectors as u64);
+        w.u64(m.geometry.ws_bits as u64);
+        w.u64(m.interval_index);
+        put_system(&mut w, &self.system);
+        put_collector(&mut w, &self.collector);
+        w.out
+    }
+
+    /// Decode a `DSMCKPT1` buffer. Total: any input yields `Ok` or a typed
+    /// [`CkptError`]; never panics, never over-allocates on hostile lengths.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let mut r = R { b: &bytes[MAGIC.len()..] };
+        let app_tag = r.u8()?;
+        let app = *App::EXTENDED
+            .get(app_tag as usize)
+            .ok_or(CkptError::BadTag { what: "app", tag: app_tag as u64 })?;
+        let n_procs = r.usize_checked("n_procs")?;
+        if n_procs == 0 || n_procs > 64 {
+            return Err(CkptError::BadValue { what: "n_procs" });
+        }
+        let scale = match r.u8()? {
+            0 => Scale::Test,
+            1 => Scale::Scaled,
+            2 => Scale::Paper,
+            t => return Err(CkptError::BadTag { what: "scale", tag: t as u64 }),
+        };
+        let interval_base = r.u64()?;
+        let plan = FaultPlan {
+            seed: r.u64()?,
+            drop_ppm: r.u32_checked("drop_ppm")?,
+            duplicate_ppm: r.u32_checked("duplicate_ppm")?,
+            spike_ppm: r.u32_checked("spike_ppm")?,
+            spike_cycles: r.u64()?,
+            slowdown_ppm: r.u32_checked("slowdown_ppm")?,
+            slowdown_window_cycles: r.u64()?,
+            slowdown_extra_num: r.u64()?,
+            retry: RetryPolicy {
+                timeout_cycles: r.u64()?,
+                max_backoff_cycles: r.u64()?,
+                max_retries: r.u32_checked("max_retries")?,
+            },
+        };
+        let geometry = DetectorGeometry {
+            bbv_entries: r.usize_checked("bbv_entries")?,
+            footprint_vectors: r.usize_checked("footprint_vectors")?,
+            ws_bits: r.usize_checked("ws_bits")?,
+        };
+        let interval_index = r.u64()?;
+        let system = get_system(&mut r)?;
+        if system.procs.len() != n_procs {
+            return Err(CkptError::BadValue { what: "system sized for a different machine" });
+        }
+        let collector = get_collector(&mut r, n_procs)?;
+        if !r.b.is_empty() {
+            return Err(CkptError::TrailingBytes);
+        }
+        Ok(Checkpoint {
+            meta: CheckpointMeta {
+                app,
+                n_procs,
+                scale,
+                interval_base,
+                plan,
+                geometry,
+                interval_index,
+            },
+            system,
+            collector,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_sim::directory::DirectoryStats;
+    use dsm_sim::{FaultStats, ProcStats};
+
+    fn sample_checkpoint() -> Checkpoint {
+        let cache = |k: u64| CacheState {
+            tags: vec![k, k + 1, 0],
+            lru: vec![3, 2, 1],
+            clock: 9 + k,
+            hits: 5,
+            misses: 2,
+        };
+        let proc = |p: u64| ProcessorState {
+            cycle: 1000 + p,
+            commit_carry: 3,
+            fp_carry: 1,
+            interval_progress: 42,
+            interval_start_cycle: 900,
+            interval_index: 7,
+            finished: false,
+            blocked: p == 1,
+            blocked_since: 950,
+            stats: ProcStats { cycles: 1000 + p, insns: 800, ..Default::default() },
+            l1: cache(p),
+            l2: cache(p + 10),
+            gshare: GshareState {
+                table: vec![0, 1, 2, 3],
+                history: 0b1011,
+                predictions: 60,
+                mispredictions: 4,
+            },
+        };
+        Checkpoint {
+            meta: CheckpointMeta {
+                app: App::Fmm,
+                n_procs: 2,
+                scale: Scale::Test,
+                interval_base: 16_000,
+                plan: FaultPlan::mixed(7, 0.01),
+                geometry: DetectorGeometry::default(),
+                interval_index: 7,
+            },
+            system: SystemState {
+                procs: vec![proc(0), proc(1)],
+                directory: DirectoryState {
+                    entries: vec![(4, DirState::Shared(0b11)), (9, DirState::Exclusive(1))],
+                    stats: DirectoryStats { reads: 12, writes: 3, ..Default::default() },
+                },
+                network: NetworkState {
+                    msgs: 40,
+                    payload_msgs: 13,
+                    total_hops: 55,
+                    link_wait_cycles: 6,
+                    link_busy: vec![100, 90],
+                },
+                memctrls: vec![
+                    MemCtrlState { busy_until: vec![50, 60], requests: 7, total_queue_delay: 11 },
+                    MemCtrlState { busy_until: vec![0, 0], requests: 0, total_queue_delay: 0 },
+                ],
+                home: HomeMapState { first_touch: vec![(1, 0), (5, 1)] },
+                locks: vec![LockSnap { id: 0, owner: Some(1), waiters: vec![0] }],
+                barrier: BarrierSnap {
+                    current_id: Some(3),
+                    arrived_mask: 0b10,
+                    arrival_cycle: vec![0, 998],
+                },
+                fault: FaultSnap {
+                    draws: 77,
+                    stats: FaultStats { messages: 40, drops: 2, ..Default::default() },
+                },
+                pending: vec![Some(Event::Mem { addr: 0x40, write: true }), None],
+                events_executed: 512,
+                fetched: vec![260, 255],
+            },
+            collector: CollectorState {
+                bbv: vec![vec![1, 0, 7], vec![0, 0, 2]],
+                ws: vec![vec![0b101], vec![0]],
+                branches: vec![11, 3],
+                ddv: DdvSnap {
+                    mats: vec![
+                        FrequencySnap { cum: vec![4, 1], snap: vec![0, 0, 4, 1] },
+                        FrequencySnap { cum: vec![2, 2], snap: vec![1, 1, 0, 0] },
+                    ],
+                    queries: 14,
+                    vectors_exchanged: 14,
+                },
+                records: vec![
+                    vec![IntervalRecord {
+                        proc: 0,
+                        index: 0,
+                        insns: 100,
+                        cycles: 210,
+                        bbv: vec![0.25, 0.75, 0.0],
+                        fvec: vec![3, 1],
+                        cvec: vec![5, 1],
+                        dds: 17.5,
+                        ws_sig: vec![0b11],
+                        branches: 9,
+                    }],
+                    vec![],
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity_and_deterministic() {
+        let ck = sample_checkpoint();
+        let bytes = ck.encode();
+        assert_eq!(bytes, ck.encode(), "encoding must be deterministic");
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.encode(), bytes, "re-encoding must reproduce the bytes");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Checkpoint::decode(b""), Err(CkptError::BadMagic));
+        assert_eq!(Checkpoint::decode(b"DSMTRC2\n"), Err(CkptError::BadMagic));
+        let mut bytes = sample_checkpoint().encode();
+        bytes[7] = b'9';
+        assert_eq!(Checkpoint::decode(&bytes), Err(CkptError::BadMagic));
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly() {
+        let bytes = sample_checkpoint().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Checkpoint::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_checkpoint().encode();
+        bytes.push(0);
+        assert_eq!(Checkpoint::decode(&bytes), Err(CkptError::TrailingBytes));
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate() {
+        let mut bytes = sample_checkpoint().encode();
+        // Overwrite the first post-meta length field region with a huge
+        // value; the guard must reject it before reserving memory.
+        let off = bytes.len() - 9;
+        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Checkpoint::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_tag_reports_bad_tag() {
+        let ck = sample_checkpoint();
+        let bytes = ck.encode();
+        let mut bad = bytes.clone();
+        bad[8] = 200; // app tag
+        assert_eq!(Checkpoint::decode(&bad), Err(CkptError::BadTag { what: "app", tag: 200 }));
+    }
+}
