@@ -66,20 +66,19 @@ pub struct FaultSweep {
 }
 
 /// Mean per-processor identifier CoV and phase count of a trace classified
-/// with BBV+DDV at `thresholds`.
-pub fn classified_cov(trace: &SystemTrace, thresholds: Thresholds) -> (f64, f64) {
+/// with the given detector `mode` at `thresholds`.
+pub fn classified_cov(
+    trace: &SystemTrace,
+    mode: DetectorMode,
+    thresholds: Thresholds,
+) -> (f64, f64) {
     let mut covs = Vec::new();
     let mut phases = Vec::new();
     for recs in &trace.records {
         if recs.is_empty() {
             continue;
         }
-        let ids = TraceClassifier::classify_proc(
-            recs,
-            DetectorMode::BbvDdv,
-            thresholds,
-            DEFAULT_FOOTPRINT_VECTORS,
-        );
+        let ids = TraceClassifier::classify_proc(recs, mode, thresholds, DEFAULT_FOOTPRINT_VECTORS);
         let pairs: Vec<(u32, f64)> = ids.iter().zip(recs).map(|(&id, r)| (id, r.cpi())).collect();
         covs.push(identifier_cov(&pairs));
         phases.push(phase_count(&pairs) as f64);
@@ -96,7 +95,7 @@ pub fn fault_sweep(app: App, n_procs: usize, seed: u64, rates: &[f64]) -> FaultS
         golden.stats.coherence_transactions_conserved(),
         "golden run must conserve transactions"
     );
-    let (golden_cov, _) = classified_cov(&golden, SWEEP_THRESHOLDS);
+    let (golden_cov, _) = classified_cov(&golden, DetectorMode::BbvDdv, SWEEP_THRESHOLDS);
 
     let points = rates
         .iter()
@@ -113,7 +112,7 @@ pub fn fault_sweep(app: App, n_procs: usize, seed: u64, rates: &[f64]) -> FaultS
                 stats.directory.reads,
                 stats.directory.writes,
             );
-            let (cov, phases) = classified_cov(&trace, SWEEP_THRESHOLDS);
+            let (cov, phases) = classified_cov(&trace, DetectorMode::BbvDdv, SWEEP_THRESHOLDS);
             FaultPoint {
                 rate,
                 cov,

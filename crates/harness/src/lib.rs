@@ -17,6 +17,9 @@
 //!   CoV/phase-count numbers into end-to-end tuning cost;
 //! * [`faults`] — the fault-injection robustness sweep: CoV-of-CPI
 //!   degradation vs a fault-free golden run, with conservation checks;
+//! * [`topology`] — the interconnect-layout sweep: detector quality and
+//!   per-directed-link demand across hypercube, mesh, torus, ring, and
+//!   fat-tree fabrics;
 //! * [`parallel`] — the parallel experiment engine: a `--jobs` worker pool,
 //!   a content-addressed on-disk trace store, and structured run reports,
 //!   all with byte-identical serial/parallel output;
@@ -41,6 +44,7 @@ pub mod simpoint;
 pub mod sweep;
 pub mod tables;
 pub mod telemetry;
+pub mod topology;
 pub mod trace;
 
 pub use experiment::ExperimentConfig;
@@ -48,4 +52,5 @@ pub use faults::{fault_sweep, FaultPoint, FaultSweep};
 pub use parallel::{capture_matrix, par_map, RunReport, TraceStore};
 pub use simpoint::{sampled_run, SimpointResult};
 pub use sweep::{bbv_curve, bbv_ddv_curve};
+pub use topology::{topology_sweep, TopologyPoint, TopologySweep};
 pub use trace::{capture, capture_with_faults, SystemTrace};

@@ -143,7 +143,7 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// Bump when the on-disk trace layout changes: old entries become misses
 /// instead of decoding garbage.
-const TRACE_FORMAT: &str = "dsm-trace-v1";
+const TRACE_FORMAT: &str = "dsm-trace-v2";
 
 /// Content hash of everything that determines a captured trace: the
 /// experiment point, the derived machine configuration, and the collector
@@ -497,7 +497,9 @@ mod codec {
     use crate::trace::SystemTrace;
 
     // v2: DirectoryStats.nacks + SystemStats.faults (fault injection).
-    const MAGIC: &[u8; 8] = b"DSMTRC2\n";
+    // v3: route-aware fabric — NetworkStats.total_flit_hops + per-link
+    //     flit counters. Old versions decode as a cache miss, never a panic.
+    const MAGIC: &[u8; 8] = b"DSMTRC3\n";
 
     fn app_code(app: App) -> u8 {
         match app {
@@ -758,10 +760,13 @@ mod codec {
             payload_msgs,
             total_hops,
             link_wait_cycles,
+            total_flit_hops,
+            ref link_flits,
         } = *network;
-        for x in [msgs, payload_msgs, total_hops, link_wait_cycles] {
+        for x in [msgs, payload_msgs, total_hops, link_wait_cycles, total_flit_hops] {
             w.u64(x);
         }
+        w.vec_u64(link_flits);
         w.u64(memctrls.len() as u64);
         for m in memctrls {
             let MemCtrlStats {
@@ -848,6 +853,8 @@ mod codec {
             payload_msgs: r.u64()?,
             total_hops: r.u64()?,
             link_wait_cycles: r.u64()?,
+            total_flit_hops: r.u64()?,
+            link_flits: r.vec_u64()?,
         };
         let nm = r.len()?;
         let mut memctrls = Vec::with_capacity(nm);

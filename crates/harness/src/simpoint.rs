@@ -32,8 +32,9 @@
 use std::path::PathBuf;
 
 use dsm_phase::detector::{DetectorGeometry, TraceCollector};
-use dsm_sim::config::FaultPlan;
+use dsm_sim::config::{FaultPlan, SystemConfig};
 use dsm_sim::event::{ChunkedStream, InstructionStream};
+use dsm_sim::network::Network;
 use dsm_sim::system::System;
 use dsm_simpoint::{
     interval_cpis, mean_and_cov, reconstruct_cpi, relative_error, select, signatures,
@@ -70,12 +71,25 @@ pub fn capture_with_checkpoints(
     plan: FaultPlan,
     boundaries: &[u64],
 ) -> (Vec<(u64, Vec<u8>)>, SystemTrace) {
-    capture_checkpoints_inner(config, plan, boundaries, false)
+    let mut sys_cfg = config.system_config();
+    sys_cfg.fault = plan;
+    capture_checkpoints_inner(config, sys_cfg, boundaries, false)
+}
+
+/// [`capture_with_checkpoints`] with an explicit machine configuration —
+/// the routed-fabric round-trip tests checkpoint non-default topologies
+/// with link contention on. The fault plan is `sys_cfg.fault`.
+pub fn capture_with_checkpoints_cfg(
+    config: ExperimentConfig,
+    sys_cfg: SystemConfig,
+    boundaries: &[u64],
+) -> (Vec<(u64, Vec<u8>)>, SystemTrace) {
+    capture_checkpoints_inner(config, sys_cfg, boundaries, false)
 }
 
 fn capture_checkpoints_inner(
     config: ExperimentConfig,
-    plan: FaultPlan,
+    sys_cfg: SystemConfig,
     boundaries: &[u64],
     strip_records: bool,
 ) -> (Vec<(u64, Vec<u8>)>, SystemTrace) {
@@ -83,7 +97,7 @@ fn capture_checkpoints_inner(
     sorted.sort_unstable();
     sorted.dedup();
 
-    let mut sys = fresh_system(config, plan);
+    let mut sys = fresh_system(config, sys_cfg.clone());
     let mut ckpts = Vec::with_capacity(sorted.len());
     for &b in &sorted {
         let reached = sys.run_to_interval(b);
@@ -92,7 +106,7 @@ fn capture_checkpoints_inner(
             "boundary {b} not reachable for {}",
             config.label()
         );
-        let mut ck = snapshot(&sys, config, plan, b);
+        let mut ck = snapshot(&sys, config, &sys_cfg, b);
         if strip_records {
             // The replay worker only measures interval `b`, but processors
             // ahead of the global boundary may have recorded it already —
@@ -125,14 +139,16 @@ pub fn capture_checkpoint_every(
     every: u64,
 ) -> (Vec<(u64, Vec<u8>)>, SystemTrace) {
     assert!(every > 0, "checkpoint period must be positive");
-    let mut sys = fresh_system(config, plan);
+    let mut sys_cfg = config.system_config();
+    sys_cfg.fault = plan;
+    let mut sys = fresh_system(config, sys_cfg.clone());
     let mut ckpts = Vec::new();
     let mut b = every;
     loop {
         if !sys.run_to_interval(b) || sys.min_interval_index() == u64::MAX {
             break;
         }
-        ckpts.push((b, snapshot(&sys, config, plan, b).encode()));
+        ckpts.push((b, snapshot(&sys, config, &sys_cfg, b).encode()));
         b += every;
     }
     let (stats, collector) = sys.run_to_end();
@@ -159,6 +175,10 @@ pub fn resume_checkpoint(ck: &Checkpoint) -> AppSystem {
     };
     let mut sys_cfg = config.system_config();
     sys_cfg.fault = ck.meta.plan;
+    // The snapshot's link vectors are indexed by the captured topology's
+    // directed-link ids; rebuild the identical fabric, not the default one.
+    sys_cfg.network.topology = ck.meta.topology;
+    sys_cfg.network.link_contention = ck.meta.link_contention;
 
     // Streams are pure functions of (app, n_procs, scale); replaying the
     // recorded fetch counts puts a fresh one exactly where the snapshotted
@@ -170,7 +190,8 @@ pub fn resume_checkpoint(ck: &Checkpoint) -> AppSystem {
         }
     }
 
-    let mut collector = TraceCollector::for_hypercube(config.n_procs, ck.meta.geometry);
+    let dist = Network::new(sys_cfg.network, config.n_procs).distance_matrix();
+    let mut collector = TraceCollector::new(config.n_procs, dist, ck.meta.geometry);
     collector.import_state(&ck.collector);
 
     let mut sys = System::new(sys_cfg, stream, collector);
@@ -263,7 +284,9 @@ pub fn sampled_run(config: ExperimentConfig, plan: FaultPlan) -> SimpointResult 
     // workers never look at pre-boundary interval records, so those are
     // stripped to keep hundreds of checkpoints memory-bounded.
     let boundaries: Vec<u64> = samples.iter().flatten().map(|u| u.interval as u64).collect();
-    let (ckpts, golden) = capture_checkpoints_inner(config, plan, &boundaries, true);
+    let mut ckpt_cfg = config.system_config();
+    ckpt_cfg.fault = plan;
+    let (ckpts, golden) = capture_checkpoints_inner(config, ckpt_cfg, &boundaries, true);
     assert_eq!(
         golden.stats, profile.stats,
         "{}: checkpoint pass diverged from profiling pass",
@@ -414,22 +437,28 @@ pub fn write_artifacts(r: &SimpointResult) -> std::io::Result<(PathBuf, PathBuf)
     Ok((a, b))
 }
 
-fn fresh_system(config: ExperimentConfig, plan: FaultPlan) -> AppSystem {
-    let mut sys_cfg = config.system_config();
-    sys_cfg.fault = plan;
+fn fresh_system(config: ExperimentConfig, sys_cfg: SystemConfig) -> AppSystem {
     let stream = make_stream(config.app, config.n_procs, config.scale);
-    let collector = TraceCollector::for_hypercube(config.n_procs, DetectorGeometry::default());
+    let dist = Network::new(sys_cfg.network, config.n_procs).distance_matrix();
+    let collector = TraceCollector::new(config.n_procs, dist, DetectorGeometry::default());
     System::new(sys_cfg, stream, collector)
 }
 
-fn snapshot(sys: &AppSystem, config: ExperimentConfig, plan: FaultPlan, boundary: u64) -> Checkpoint {
+fn snapshot(
+    sys: &AppSystem,
+    config: ExperimentConfig,
+    sys_cfg: &SystemConfig,
+    boundary: u64,
+) -> Checkpoint {
     Checkpoint {
         meta: CheckpointMeta {
             app: config.app,
             n_procs: config.n_procs,
             scale: config.scale,
             interval_base: config.interval_base,
-            plan,
+            topology: sys_cfg.network.topology,
+            link_contention: sys_cfg.network.link_contention,
+            plan: sys_cfg.fault,
             geometry: sys.observer().geometry(),
             interval_index: boundary,
         },

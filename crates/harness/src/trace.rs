@@ -70,7 +70,10 @@ pub fn capture_with(
 ) -> SystemTrace {
     assert_eq!(sys_cfg.n_procs, config.n_procs);
     let stream = make_stream(config.app, config.n_procs, config.scale);
-    let collector = TraceCollector::for_hypercube(config.n_procs, geometry);
+    // The DDV distance matrix follows the configured topology (identical to
+    // the historical hypercube matrix at the default layout).
+    let dist = dsm_sim::network::Network::new(sys_cfg.network, config.n_procs).distance_matrix();
+    let collector = TraceCollector::new(config.n_procs, dist, geometry);
     let system = System::new(sys_cfg, stream, collector);
     let (stats, collector) = system.run();
     SystemTrace {

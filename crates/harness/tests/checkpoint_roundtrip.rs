@@ -9,9 +9,10 @@
 //! checkpointing bugs with sampling noise and the 5 % CPI gate would be
 //! meaningless.
 
-use dsm_harness::simpoint::{capture_with_checkpoints, resume_to_end};
+use dsm_harness::simpoint::{capture_with_checkpoints, capture_with_checkpoints_cfg, resume_to_end};
 use dsm_harness::ExperimentConfig;
 use dsm_sim::config::FaultPlan;
+use dsm_sim::topology::TopologyKind;
 use dsm_workloads::App;
 
 /// Capture with checkpoints at the given boundaries, then resume from every
@@ -60,6 +61,44 @@ fn roundtrip_all_workloads_2p_under_faults() {
 fn roundtrip_all_workloads_2p_fault_free() {
     for app in App::EXTENDED {
         assert_roundtrip(ExperimentConfig::test(app, 2), FaultPlan::none(), &[2]);
+    }
+}
+
+#[test]
+fn roundtrip_routed_fabric_nondefault_topologies() {
+    // The routed-fabric column: DSMCKPT2 carries the topology and the
+    // link-contention flag, and the per-directed-link busy/flit vectors are
+    // indexed by that topology's link table — resume must rebuild the same
+    // fabric and continue bit-identically, faults included.
+    for (app, kind) in [
+        (App::Lu, TopologyKind::Torus2D),
+        (App::Equake, TopologyKind::Ring),
+        (App::Art, TopologyKind::FatTree),
+    ] {
+        let config = ExperimentConfig::test(app, 2);
+        let mut sys_cfg = config.system_config();
+        sys_cfg.network.topology = kind;
+        sys_cfg.network.link_contention = true;
+        sys_cfg.fault = FaultPlan::mixed(0xFAB2, 0.02);
+        let (ckpts, golden) = capture_with_checkpoints_cfg(config, sys_cfg, &[1, 3]);
+        assert_eq!(ckpts.len(), 2, "{}/{}: missing checkpoints", config.label(), kind.name());
+        for (b, bytes) in &ckpts {
+            let resumed = resume_to_end(bytes);
+            assert_eq!(
+                resumed.stats,
+                golden.stats,
+                "{}/{}: stats diverged resuming from interval {b}",
+                config.label(),
+                kind.name(),
+            );
+            assert_eq!(
+                resumed.records,
+                golden.records,
+                "{}/{}: records diverged resuming from interval {b}",
+                config.label(),
+                kind.name(),
+            );
+        }
     }
 }
 

@@ -4,6 +4,7 @@
 //! frequency (2 GHz in the paper), so the timing model never multiplies by
 //! wall-clock units at runtime.
 
+use crate::topology::TopologyKind;
 use serde::{Deserialize, Serialize};
 
 /// Data-placement policy: which node is the *home* of a memory block.
@@ -58,9 +59,14 @@ pub struct MemoryConfig {
     pub service_gap_cycles: u64,
 }
 
-/// Interconnect configuration (hypercube, wormhole routing).
+/// Interconnect configuration (topology + wormhole-routing latencies).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
+    /// Interconnect layout the fabric routes over. The default hypercube
+    /// reproduces the paper's Table I network; the other layouts exist for
+    /// the `topologies` sweep (detector quality vs network diameter).
+    #[serde(default)]
+    pub topology: TopologyKind,
     /// Per-hop pin-to-pin latency in cycles (16 ns at 2 GHz = 32 cycles).
     pub hop_cycles: u64,
     /// Router pipeline occupancy per hop in cycles (400 MHz pipelined router
@@ -348,6 +354,7 @@ impl SystemConfig {
                 banks: 1,
             },
             network: NetworkConfig {
+                topology: TopologyKind::Hypercube,
                 hop_cycles: 32,   // 16 ns pin-to-pin
                 router_cycles: 5, // 400 MHz pipelined router
                 payload_cycles: 26,

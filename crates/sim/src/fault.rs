@@ -274,8 +274,9 @@ impl FaultState {
             },
         );
         if delivery.duplicates > 0 {
-            // The duplicate copy consumes bandwidth too.
-            let _ = net.send_at(src, dst, payload, now + delivery.latency);
+            // The duplicate copy consumes bandwidth too, but its hops are
+            // not re-counted: the delivery it copies already counted them.
+            let _ = net.resend_at(src, dst, payload, now + delivery.latency);
         }
         self.stats.messages += delivery.attempts as u64 + delivery.duplicates as u64;
         for (i, f) in fates.iter().enumerate() {
@@ -462,6 +463,25 @@ mod tests {
             net.stats().msgs
         };
         assert!(mk(0.5) > mk(0.0), "lost copies still cost traffic");
+    }
+
+    #[test]
+    fn duplicated_copy_does_not_double_count_hops() {
+        // Regression: the NACKed duplicate copy re-walks the primary
+        // delivery's route; it consumes bandwidth but must not re-count
+        // the route's hops. Seed 11 pins the first fate draw to Duplicate
+        // under this plan (first draw mod 1e6 = 155106 < 200000).
+        let mut plan = FaultPlan::none();
+        plan.seed = 11;
+        plan.duplicate_ppm = 200_000;
+        let mut net = Network::new(SystemConfig::paper(8).network, 8);
+        let mut f = FaultState::new(plan);
+        let d = f.deliver(&mut net, 0, 5, true, 0);
+        assert_eq!(d.duplicates, 1, "seed 11 must duplicate the first message");
+        let s = net.stats();
+        assert_eq!(s.msgs, 2, "both copies consume bandwidth");
+        assert_eq!(s.payload_msgs, 2);
+        assert_eq!(s.total_hops, net.hops(0, 5) as u64, "hops counted once per delivery");
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod state;
 pub mod stats;
 pub mod system;
 pub mod telem;
+pub mod topology;
 pub mod util;
 
 pub use addr::{Addr, HomeMap, NodeId, BLOCK_BYTES, BLOCK_SHIFT, PAGE_BYTES, PAGE_SHIFT};
@@ -56,3 +57,4 @@ pub use state::SystemState;
 pub use stats::{ProcStats, SystemStats};
 pub use system::System;
 pub use telem::{SimProbes, SimTelemetry};
+pub use topology::{AnyTopology, Topology, TopologyKind};

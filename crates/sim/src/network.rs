@@ -1,35 +1,53 @@
-//! Hypercube interconnect with wormhole-routing latency model.
+//! Route-aware interconnect fabric with wormhole-routing latency model.
 //!
-//! Nodes are hypercube vertices; the distance between nodes `a` and `b` is
-//! the Hamming distance of their ids (e-cube routing). A message pays one
-//! router-pipeline plus pin-to-pin delay per hop, plus a serialization term
-//! for its payload. Queueing contention is modelled where it dominates in a
-//! DSM — the home memory controller ([`crate::memctrl`]) — while the
-//! network itself adds deterministic distance latency; this matches the
-//! paper's framing, where the contention the DDV captures is "system-wide
-//! contention for data with home in j".
+//! Messages travel hop by hop over a runtime-selected [`Topology`]
+//! (hypercube by default, reproducing the paper's Table I network): every
+//! ordered node pair has one deterministic precomputed route — an ordered
+//! list of *directed link* ids — and a message pays one router-pipeline plus
+//! pin-to-pin delay per hop, plus a serialization term for its payload.
+//!
+//! Each directed link carries two counters:
+//!
+//! * a **flit counter** (`link_flits`) — every message adds its
+//!   serialization time in cycles (its flit count at one flit per cycle) to
+//!   every link it crosses, so per-link demand and the global
+//!   `total_flit_hops` conserve exactly (Σ link_flits == total_flit_hops);
+//! * a **busy-until horizon** (`link_busy`) — with
+//!   [`NetworkConfig::link_contention`] on, each directed link admits one
+//!   wormhole at a time, so messages queue behind earlier traffic on real
+//!   links. Off (the default, matching the paper's framing where contention
+//!   concentrates at the home memory controllers — see [`crate::memctrl`]),
+//!   latency is the deterministic analytic `one_way` of the route length.
 
 use crate::config::NetworkConfig;
+use crate::topology::{AnyTopology, Topology, TopologyKind};
 use serde::{Deserialize, Serialize};
 
-/// Hypercube topology + latency model for an `n`-node system.
+/// Topology + latency model + per-link accounting for an `n`-node system.
 #[derive(Debug, Clone)]
 pub struct Network {
     cfg: NetworkConfig,
     n_nodes: usize,
-    dim: u32,
+    topo: AnyTopology,
+    /// Deterministic route (directed-link ids in traversal order) for every
+    /// ordered node pair, indexed `a * n_nodes + b`. Empty when `a == b`.
+    routes: Vec<Vec<u32>>,
     msgs: u64,
     payload_msgs: u64,
     total_hops: u64,
-    /// Per directed link `(node, dim)` occupancy horizon, used only when
-    /// [`NetworkConfig::link_contention`] is on.
-    link_busy: Vec<u64>,
     /// Total cycles messages spent queued on busy links.
     link_wait_cycles: u64,
+    /// Flit-cycles injected: Σ over messages of `ser * route_len`.
+    total_flit_hops: u64,
+    /// Per directed link occupancy horizon, used only when
+    /// [`NetworkConfig::link_contention`] is on.
+    link_busy: Vec<u64>,
+    /// Per directed link flit counters (demand, contended or not).
+    link_flits: Vec<u64>,
 }
 
 /// Aggregate traffic counters for reporting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkStats {
     pub msgs: u64,
     pub payload_msgs: u64,
@@ -37,32 +55,90 @@ pub struct NetworkStats {
     /// Cycles messages spent queued behind busy links (0 unless link
     /// contention is modelled).
     pub link_wait_cycles: u64,
+    /// Flit-cycles injected onto links: each transmission adds its
+    /// serialization time to every directed link on its route, so this
+    /// always equals the sum of `link_flits`.
+    pub total_flit_hops: u64,
+    /// Per-directed-link flit counters, indexed by link id (see
+    /// [`Network::link_label`] for the id -> endpoints mapping).
+    pub link_flits: Vec<u64>,
 }
 
 impl NetworkStats {
+    /// Merge another stats block into this one (elementwise; the link
+    /// vector grows to the longer of the two). Used when aggregating
+    /// per-shard runs — merging is commutative and associative.
+    pub fn absorb(&mut self, other: &NetworkStats) {
+        self.msgs += other.msgs;
+        self.payload_msgs += other.payload_msgs;
+        self.total_hops += other.total_hops;
+        self.link_wait_cycles += other.link_wait_cycles;
+        self.total_flit_hops += other.total_flit_hops;
+        if self.link_flits.len() < other.link_flits.len() {
+            self.link_flits.resize(other.link_flits.len(), 0);
+        }
+        for (a, b) in self.link_flits.iter_mut().zip(&other.link_flits) {
+            *a += b;
+        }
+    }
+
+    /// Demand on the busiest directed link, in flit-cycles.
+    pub fn peak_link_flits(&self) -> u64 {
+        self.link_flits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Id of the busiest directed link (lowest id on ties), if any traffic
+    /// flowed at all.
+    pub fn hottest_link(&self) -> Option<usize> {
+        let peak = self.peak_link_flits();
+        if peak == 0 {
+            return None;
+        }
+        self.link_flits.iter().position(|&f| f == peak)
+    }
+
     /// Mirror the traffic counters into a metrics registry under `prefix`
-    /// (e.g. `sim/network`).
+    /// (e.g. `sim/network`). Per-link counters are published by
+    /// [`Network::publish_links`], which knows the link labels.
     pub fn publish(&self, prefix: &str, reg: &mut dsm_telemetry::MetricsRegistry) {
         reg.counter_add(&format!("{prefix}/msgs"), self.msgs);
         reg.counter_add(&format!("{prefix}/payload_msgs"), self.payload_msgs);
         reg.counter_add(&format!("{prefix}/total_hops"), self.total_hops);
         reg.counter_add(&format!("{prefix}/link_wait_cycles"), self.link_wait_cycles);
+        reg.counter_add(&format!("{prefix}/flit_hops"), self.total_flit_hops);
+        reg.counter_add(&format!("{prefix}/peak_link_flits"), self.peak_link_flits());
     }
 }
 
 impl Network {
     pub fn new(cfg: NetworkConfig, n_nodes: usize) -> Self {
-        assert!(n_nodes.is_power_of_two() && n_nodes > 0);
-        let dim = n_nodes.trailing_zeros();
+        assert!(
+            cfg.topology.supports(n_nodes),
+            "{} topology cannot be built over {n_nodes} nodes",
+            cfg.topology.name()
+        );
+        let topo = cfg.topology.build(n_nodes);
+        let mut routes = Vec::with_capacity(n_nodes * n_nodes);
+        let mut buf = Vec::new();
+        for a in 0..n_nodes {
+            for b in 0..n_nodes {
+                topo.route_into(a, b, &mut buf);
+                routes.push(buf.iter().map(|&l| l as u32).collect());
+            }
+        }
+        let n_links = topo.n_links();
         Self {
             cfg,
             n_nodes,
-            dim,
+            topo,
+            routes,
             msgs: 0,
             payload_msgs: 0,
             total_hops: 0,
-            link_busy: vec![0; n_nodes * dim.max(1) as usize],
             link_wait_cycles: 0,
+            total_flit_hops: 0,
+            link_busy: vec![0; n_links],
+            link_flits: vec![0; n_links],
         }
     }
 
@@ -70,16 +146,84 @@ impl Network {
         self.n_nodes
     }
 
-    /// Hypercube dimension (log2 of node count).
-    pub fn dim(&self) -> u32 {
-        self.dim
+    /// The layout this fabric routes over.
+    pub fn topology(&self) -> &AnyTopology {
+        &self.topo
     }
 
-    /// Hop count between two nodes (Hamming distance of the ids).
+    pub fn kind(&self) -> TopologyKind {
+        self.cfg.topology
+    }
+
+    /// Longest route in the topology, in hops.
+    pub fn diameter(&self) -> u32 {
+        self.topo.diameter()
+    }
+
+    /// Number of directed links in the topology.
+    pub fn n_links(&self) -> usize {
+        self.link_flits.len()
+    }
+
+    /// Display label `from->to` of a directed link id (switch vertices are
+    /// prefixed `s`, e.g. `0->s17` in a fat-tree).
+    pub fn link_label(&self, link: usize) -> String {
+        self.topo.link_label(link)
+    }
+
+    /// Route length between two nodes in hops (links crossed).
     #[inline]
     pub fn hops(&self, a: usize, b: usize) -> u32 {
         debug_assert!(a < self.n_nodes && b < self.n_nodes);
-        ((a ^ b) as u64).count_ones()
+        self.routes[a * self.n_nodes + b].len() as u32
+    }
+
+    #[inline]
+    fn ser(&self, payload: bool) -> u64 {
+        if payload { self.cfg.payload_cycles } else { self.cfg.header_cycles }
+    }
+
+    /// Record one transmission `a -> b`: message counters, per-link flit
+    /// demand, and (when `count_hops`) the per-delivery hop count. Returns
+    /// the route length.
+    fn record_route(&mut self, a: usize, b: usize, payload: bool, count_hops: bool) -> u32 {
+        let ser = self.ser(payload);
+        self.msgs += 1;
+        self.payload_msgs += payload as u64;
+        let idx = a * self.n_nodes + b;
+        let h = self.routes[idx].len() as u32;
+        if count_hops {
+            self.total_hops += h as u64;
+        }
+        for i in 0..h as usize {
+            let l = self.routes[idx][i] as usize;
+            self.link_flits[l] += ser;
+            self.total_flit_hops += ser;
+        }
+        h
+    }
+
+    /// Timed transmission along the precomputed route. Without link
+    /// contention (or for a local message) latency is the analytic
+    /// `one_way` of the route length; with it, each directed link admits
+    /// one wormhole at a time and the head queues until the link frees.
+    fn transmit(&mut self, a: usize, b: usize, payload: bool, now: u64, count_hops: bool) -> u64 {
+        if !self.cfg.link_contention || a == b {
+            let h = self.record_route(a, b, payload, count_hops);
+            return self.cfg.one_way(h, payload);
+        }
+        let ser = self.ser(payload);
+        let h = self.record_route(a, b, payload, count_hops);
+        let idx = a * self.n_nodes + b;
+        let mut t = now;
+        for i in 0..h as usize {
+            let l = self.routes[idx][i] as usize;
+            let start = t.max(self.link_busy[l]);
+            self.link_wait_cycles += start - t;
+            self.link_busy[l] = start + ser;
+            t = start + self.cfg.hop_cycles + self.cfg.router_cycles;
+        }
+        (t + ser) - now
     }
 
     /// One-way latency of a message from `a` to `b`, recording traffic.
@@ -87,43 +231,26 @@ impl Network {
     /// bypassed (used where the caller has no meaningful timestamp).
     #[inline]
     pub fn send(&mut self, a: usize, b: usize, payload: bool) -> u64 {
-        let h = self.hops(a, b);
-        self.msgs += 1;
-        self.payload_msgs += payload as u64;
-        self.total_hops += h as u64;
+        let h = self.record_route(a, b, payload, true);
         self.cfg.one_way(h, payload)
     }
 
-    /// One-way latency of a message injected at absolute cycle `now`.
-    ///
-    /// With [`NetworkConfig::link_contention`] enabled, the message follows
-    /// the e-cube (dimension-order) route and each directed link admits one
-    /// wormhole at a time: the head queues until the link frees, and the
-    /// link stays occupied for the message's serialization time. Without
-    /// the flag this reduces exactly to [`Network::send`].
+    /// One-way latency of a message injected at absolute cycle `now`,
+    /// following the deterministic route hop by hop (see [`Network::transmit`]'s
+    /// contention model). Without [`NetworkConfig::link_contention`] this
+    /// reduces exactly to [`Network::send`].
     pub fn send_at(&mut self, a: usize, b: usize, payload: bool, now: u64) -> u64 {
-        if !self.cfg.link_contention || a == b {
-            return self.send(a, b, payload);
-        }
-        let ser = if payload { self.cfg.payload_cycles } else { self.cfg.header_cycles };
-        let mut node = a;
-        let mut t = now;
-        let mut diff = a ^ b;
-        self.msgs += 1;
-        self.payload_msgs += payload as u64;
-        while diff != 0 {
-            let d = diff.trailing_zeros() as usize;
-            diff &= diff - 1;
-            self.total_hops += 1;
-            let link = &mut self.link_busy[node * self.dim as usize + d];
-            let start = t.max(*link);
-            self.link_wait_cycles += start - t;
-            *link = start + ser;
-            t = start + self.cfg.hop_cycles + self.cfg.router_cycles;
-            node ^= 1 << d;
-        }
-        debug_assert_eq!(node, b);
-        (t + ser) - now
+        self.transmit(a, b, payload, now, true)
+    }
+
+    /// Retransmit a copy of an already-delivered message (a duplicate the
+    /// receiver will NACK). The copy consumes real bandwidth — message
+    /// count, payload count, flit demand, and link occupancy — but its hops
+    /// are *not* added to `total_hops`: that counter records hop traversals
+    /// once per delivered protocol message, and this copy re-walks a route
+    /// whose hops the primary transmission already counted.
+    pub fn resend_at(&mut self, a: usize, b: usize, payload: bool, now: u64) -> u64 {
+        self.transmit(a, b, payload, now, false)
     }
 
     /// Latency of a round trip `a -> b -> a` with a header request and a
@@ -140,11 +267,11 @@ impl Network {
     }
 
     /// Worst-case uncontended one-way latency in this topology (a full
-    /// `dim`-hop traversal). The fault layer's retry-budget bounds and the
+    /// diameter traversal). The fault layer's retry-budget bounds and the
     /// detector's row-collection deadline are both derived from this.
     #[inline]
     pub fn max_one_way(&self, payload: bool) -> u64 {
-        self.cfg.one_way(self.dim.max(1), payload)
+        self.cfg.one_way(self.topo.diameter().max(1), payload)
     }
 
     /// Distance matrix for the paper's DDV: `D[i][j]`, defined as 1 when
@@ -152,7 +279,7 @@ impl Network {
     ///
     /// The paper says only "a measure of the distance from node i to node j
     /// (1 if i = j)" of "pre-programmed constants"; `1 + hops` is the natural
-    /// such measure for a hypercube and keeps local accesses cheapest.
+    /// such measure for any topology and keeps local accesses cheapest.
     pub fn distance_matrix(&self) -> Vec<f64> {
         let n = self.n_nodes;
         let mut d = vec![0.0; n * n];
@@ -170,6 +297,19 @@ impl Network {
             payload_msgs: self.payload_msgs,
             total_hops: self.total_hops,
             link_wait_cycles: self.link_wait_cycles,
+            total_flit_hops: self.total_flit_hops,
+            link_flits: self.link_flits.clone(),
+        }
+    }
+
+    /// Publish per-directed-link flit counters under
+    /// `{prefix}/link/{from}->{to}/flits`. Only links that carried traffic
+    /// are published, to keep the registry proportional to live demand.
+    pub fn publish_links(&self, prefix: &str, reg: &mut dsm_telemetry::MetricsRegistry) {
+        for (l, &flits) in self.link_flits.iter().enumerate() {
+            if flits > 0 {
+                reg.counter_add(&format!("{prefix}/link/{}/flits", self.topo.link_label(l)), flits);
+            }
         }
     }
 
@@ -181,7 +321,9 @@ impl Network {
             payload_msgs: self.payload_msgs,
             total_hops: self.total_hops,
             link_wait_cycles: self.link_wait_cycles,
+            total_flit_hops: self.total_flit_hops,
             link_busy: self.link_busy.clone(),
+            link_flits: self.link_flits.clone(),
         }
     }
 
@@ -189,11 +331,14 @@ impl Network {
     /// the same topology.
     pub fn import_state(&mut self, st: &crate::state::NetworkState) {
         assert_eq!(st.link_busy.len(), self.link_busy.len(), "topology mismatch");
+        assert_eq!(st.link_flits.len(), self.link_flits.len(), "topology mismatch");
         self.msgs = st.msgs;
         self.payload_msgs = st.payload_msgs;
         self.total_hops = st.total_hops;
         self.link_wait_cycles = st.link_wait_cycles;
+        self.total_flit_hops = st.total_flit_hops;
         self.link_busy.copy_from_slice(&st.link_busy);
+        self.link_flits.copy_from_slice(&st.link_flits);
     }
 }
 
@@ -204,6 +349,13 @@ mod tests {
 
     fn net(n: usize) -> Network {
         Network::new(SystemConfig::paper(n.max(2)).network, n)
+    }
+
+    fn net_of(kind: TopologyKind, n: usize, contention: bool) -> Network {
+        let mut cfg = SystemConfig::paper(n.max(2)).network;
+        cfg.topology = kind;
+        cfg.link_contention = contention;
+        Network::new(cfg, n)
     }
 
     #[test]
@@ -230,9 +382,9 @@ mod tests {
     }
 
     #[test]
-    fn max_hops_is_dimension() {
+    fn max_hops_is_diameter() {
         let n = net(32);
-        assert_eq!(n.dim(), 5);
+        assert_eq!(n.diameter(), 5);
         let max = (0..32)
             .flat_map(|a| (0..32).map(move |b| (a, b)))
             .map(|(a, b)| n.hops(a, b))
@@ -245,6 +397,7 @@ mod tests {
     fn local_send_is_free() {
         let mut n = net(8);
         assert_eq!(n.send(3, 3, true), 0);
+        assert_eq!(n.stats().total_flit_hops, 0, "a local message crosses no links");
     }
 
     #[test]
@@ -285,7 +438,9 @@ mod tests {
     fn send_at_without_contention_equals_send() {
         let mut a = net(16);
         let mut b = net(16);
-        for (src, dst, payload, now) in [(0usize, 5usize, true, 100u64), (3, 3, false, 7), (1, 14, false, 0)] {
+        for (src, dst, payload, now) in
+            [(0usize, 5usize, true, 100u64), (3, 3, false, 7), (1, 14, false, 0)]
+        {
             assert_eq!(a.send_at(src, dst, payload, now), b.send(src, dst, payload));
         }
         assert_eq!(a.stats(), b.stats());
@@ -297,7 +452,7 @@ mod tests {
         cfg.link_contention = true;
         let mut n = Network::new(cfg, 8);
         // Two messages injected at the same instant from node 0 along the
-        // same first link (dim 0): the second must wait for the first's
+        // same first link (0 -> 1): the second must wait for the first's
         // serialization.
         let first = n.send_at(0, 1, true, 1000);
         let second = n.send_at(0, 1, true, 1000);
@@ -314,7 +469,7 @@ mod tests {
         let mut cfg = SystemConfig::paper(8).network;
         cfg.link_contention = true;
         let mut n = Network::new(cfg, 8);
-        // An idle network: e-cube latency equals the analytic one_way.
+        // An idle network: hop-by-hop latency equals the analytic one_way.
         assert_eq!(n.send_at(0, 7, true, 0), cfg.one_way(3, true));
         // Much later, links have drained.
         assert_eq!(n.send_at(0, 7, true, 1_000_000), cfg.one_way(3, true));
@@ -325,11 +480,41 @@ mod tests {
         let mut cfg = SystemConfig::paper(8).network;
         cfg.link_contention = true;
         let mut n = Network::new(cfg, 8);
-        // 0->1 (link (0,d0)) and 2->3 (link (2,d0)) share no links.
+        // 0->1 and 2->3 share no directed links.
         let a = n.send_at(0, 1, true, 0);
         let b = n.send_at(2, 3, true, 0);
         assert_eq!(a, b);
         assert_eq!(n.stats().link_wait_cycles, 0);
+    }
+
+    #[test]
+    fn resend_at_charges_bandwidth_but_not_hops() {
+        let mut n = net(8);
+        let first = n.send_at(0, 5, true, 0);
+        let again = n.resend_at(0, 5, true, 0);
+        assert_eq!(first, again, "an idle resend takes the same route and time");
+        let s = n.stats();
+        assert_eq!(s.msgs, 2, "the duplicate copy is real traffic");
+        assert_eq!(s.payload_msgs, 2);
+        assert_eq!(s.total_hops, n.hops(0, 5) as u64, "hops counted once per delivered message");
+        assert_eq!(
+            s.total_flit_hops,
+            2 * n.hops(0, 5) as u64 * SystemConfig::paper(8).network.payload_cycles,
+            "both copies consume link bandwidth"
+        );
+    }
+
+    #[test]
+    fn resend_at_still_occupies_links_under_contention() {
+        let mut cfg = SystemConfig::paper(8).network;
+        cfg.link_contention = true;
+        let mut n = Network::new(cfg, 8);
+        let first = n.send_at(0, 1, true, 1000);
+        // A duplicate copy injected at the same instant queues behind the
+        // primary on the shared first link even though its hops are free.
+        let dup = n.resend_at(0, 1, true, 1000);
+        assert_eq!(dup - first, cfg.payload_cycles);
+        assert_eq!(n.stats().total_hops, 1);
     }
 
     #[test]
@@ -347,7 +532,76 @@ mod tests {
     #[test]
     fn uniprocessor_network_degenerates() {
         let n = net(1);
-        assert_eq!(n.dim(), 0);
+        assert_eq!(n.diameter(), 0);
+        assert_eq!(n.n_links(), 0);
         assert_eq!(n.distance_matrix(), vec![1.0]);
+    }
+
+    #[test]
+    fn flit_counters_conserve_per_link() {
+        for kind in TopologyKind::ALL {
+            let mut n = net_of(kind, 16, false);
+            for (a, b, p) in [(0usize, 5usize, true), (3, 12, false), (7, 7, true), (15, 1, true)] {
+                n.send(a, b, p);
+            }
+            let s = n.stats();
+            assert_eq!(
+                s.link_flits.iter().sum::<u64>(),
+                s.total_flit_hops,
+                "{}: flit conservation",
+                kind.name()
+            );
+            assert!(s.peak_link_flits() > 0);
+            assert!(s.hottest_link().is_some());
+        }
+    }
+
+    #[test]
+    fn every_topology_is_latency_consistent() {
+        // send_at on an idle contended fabric == the analytic latency of
+        // the same route, for every layout.
+        for kind in TopologyKind::ALL {
+            let n = net_of(kind, 16, true);
+            for a in 0..16 {
+                for b in 0..16 {
+                    let expect = n.latency(a, b, true);
+                    let mut idle = net_of(kind, 16, true);
+                    assert_eq!(idle.send_at(a, b, true, 0), expect, "{}", kind.name());
+                    assert!(n.latency(a, b, true) <= n.max_one_way(true));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_absorb_merges_elementwise() {
+        let mut x = net(8);
+        let mut y = net(8);
+        x.send(0, 5, true);
+        y.send(5, 0, false);
+        y.send(1, 2, true);
+        let mut merged = x.stats();
+        merged.absorb(&y.stats());
+        let mut both = net(8);
+        both.send(0, 5, true);
+        both.send(5, 0, false);
+        both.send(1, 2, true);
+        assert_eq!(merged, both.stats());
+    }
+
+    #[test]
+    fn export_import_round_trips_link_state() {
+        let mut cfg = SystemConfig::paper(8).network;
+        cfg.link_contention = true;
+        let mut n = Network::new(cfg, 8);
+        n.send_at(0, 7, true, 10);
+        n.send_at(3, 4, false, 12);
+        let st = n.export_state();
+        let mut fresh = Network::new(cfg, 8);
+        fresh.import_state(&st);
+        assert_eq!(fresh.stats(), n.stats());
+        assert_eq!(fresh.export_state(), st);
+        // The restored fabric continues with identical contention behavior.
+        assert_eq!(fresh.send_at(0, 7, true, 15), n.send_at(0, 7, true, 15));
     }
 }

@@ -66,14 +66,18 @@ pub struct DirectoryState {
     pub stats: DirectoryStats,
 }
 
-/// Network traffic counters plus per-link occupancy horizons.
+/// Network traffic counters plus per-link occupancy horizons and flit
+/// demand (both vectors are indexed by directed-link id of the configured
+/// topology).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkState {
     pub msgs: u64,
     pub payload_msgs: u64,
     pub total_hops: u64,
     pub link_wait_cycles: u64,
+    pub total_flit_hops: u64,
     pub link_busy: Vec<u64>,
+    pub link_flits: Vec<u64>,
 }
 
 /// One memory controller's bank horizons and counters.

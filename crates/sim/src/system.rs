@@ -516,10 +516,11 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             (1u64 << self.cfg.n_procs) - 1
         };
         if self.barrier.arrived_mask == all {
-            // Release: slowest arrival plus a dimension-order reduce +
-            // broadcast across the hypercube.
+            // Release: slowest arrival plus a reduce + broadcast spanning
+            // the network diameter (== the hypercube dimension for the
+            // default layout).
             let slowest = *self.barrier.arrival_cycle.iter().max().unwrap();
-            let fan = 2 * self.net.dim() as u64
+            let fan = 2 * self.net.diameter() as u64
                 * (self.cfg.network.hop_cycles + self.cfg.network.router_cycles);
             let release = slowest + fan;
             for q in 0..self.cfg.n_procs {
@@ -603,6 +604,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             reg.counter_add("sim/events_executed", self.events_executed);
             reg.counter_add("sim/sched/runnable_at_finish", self.sched.runnable() as u64);
             stats.publish(reg);
+            self.net.publish_links("sim/network", reg);
         }
         stats
     }

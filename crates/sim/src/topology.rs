@@ -1,0 +1,730 @@
+//! Interconnect topologies behind one routing interface.
+//!
+//! The fabric ([`crate::network::Network`]) is topology-agnostic: it asks a
+//! [`Topology`] for a deterministic route — an ordered list of *directed
+//! link* ids — and charges latency, flits, and (optionally) wormhole channel
+//! occupancy along that route. Five layouts are selectable at runtime via
+//! [`crate::config::NetworkConfig::topology`]:
+//!
+//! * **hypercube** (default) — nodes are cube vertices, e-cube
+//!   (dimension-order, lowest bit first) routing; this reproduces the
+//!   original analytical model's distances exactly;
+//! * **mesh2d** — a near-square 2-D grid (columns chosen as the largest
+//!   divisor of `n` not exceeding `sqrt(n)`), XY routing;
+//! * **torus2d** — the same grid with wraparound links, per-axis
+//!   shortest-direction routing (ties resolve to the increasing direction);
+//! * **ring** — shortest-direction routing (ties resolve clockwise);
+//! * **fattree** — a binary tree over the nodes with internal switch
+//!   vertices; packets climb to the lowest common ancestor and descend.
+//!
+//! Every route is a pure function of `(topology, src, dst)` — no adaptivity,
+//! no randomness — so simulations stay bit-reproducible and checkpoints can
+//! restore in-flight link occupancy by index.
+
+use serde::{Deserialize, Serialize};
+
+/// Runtime-selectable topology layouts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    #[default]
+    Hypercube,
+    Mesh2D,
+    Torus2D,
+    Ring,
+    FatTree,
+}
+
+impl TopologyKind {
+    /// Every layout, in the order sweeps and artefacts report them.
+    pub const ALL: [TopologyKind; 5] = [
+        TopologyKind::Hypercube,
+        TopologyKind::Mesh2D,
+        TopologyKind::Torus2D,
+        TopologyKind::Ring,
+        TopologyKind::FatTree,
+    ];
+
+    /// Stable lower-case name (CLI flags, JSON artefacts, counter names).
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Hypercube => "hypercube",
+            TopologyKind::Mesh2D => "mesh2d",
+            TopologyKind::Torus2D => "torus2d",
+            TopologyKind::Ring => "ring",
+            TopologyKind::FatTree => "fattree",
+        }
+    }
+
+    /// Inverse of [`TopologyKind::name`].
+    pub fn from_name(s: &str) -> Option<TopologyKind> {
+        TopologyKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Whether this layout can be built over `n` nodes. The hypercube and
+    /// the binary fat-tree require a power of two; the grid and ring
+    /// layouts accept any positive count.
+    pub fn supports(self, n: usize) -> bool {
+        n > 0
+            && match self {
+                TopologyKind::Hypercube | TopologyKind::FatTree => n.is_power_of_two(),
+                _ => true,
+            }
+    }
+
+    /// Build the routing object for `n` nodes.
+    ///
+    /// Panics when `!self.supports(n)` — node counts are validated with the
+    /// rest of the machine configuration, not at message time.
+    pub fn build(self, n: usize) -> AnyTopology {
+        assert!(self.supports(n), "{} cannot be built over {n} nodes", self.name());
+        match self {
+            TopologyKind::Hypercube => AnyTopology::Hypercube(Hypercube::new(n)),
+            TopologyKind::Mesh2D => AnyTopology::Mesh2D(Mesh2D::new(n)),
+            TopologyKind::Torus2D => AnyTopology::Torus2D(Torus2D::new(n)),
+            TopologyKind::Ring => AnyTopology::Ring(Ring::new(n)),
+            TopologyKind::FatTree => AnyTopology::FatTree(FatTree::new(n)),
+        }
+    }
+}
+
+/// The sorted directed-edge table every topology routes over. Link ids are
+/// indices into this table, so they are dense, deterministic, and identical
+/// across builds of the same layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkTable {
+    edges: Vec<(usize, usize)>,
+}
+
+impl LinkTable {
+    fn from_edges(mut edges: Vec<(usize, usize)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        debug_assert!(edges.iter().all(|&(a, b)| a != b), "self-loop in link table");
+        Self { edges }
+    }
+
+    /// Number of directed links.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// `(from, to)` vertices of a directed link.
+    pub fn endpoints(&self, link: usize) -> (usize, usize) {
+        self.edges[link]
+    }
+
+    /// Link id of the directed edge `from -> to`, if it exists.
+    pub fn id(&self, from: usize, to: usize) -> Option<usize> {
+        self.edges.binary_search(&(from, to)).ok()
+    }
+}
+
+/// One interconnect layout: a vertex set (nodes plus any internal
+/// switches), a directed link table, and a deterministic next-hop function.
+pub trait Topology {
+    fn kind(&self) -> TopologyKind;
+    /// Endpoint (processor/memory) nodes. Nodes are vertices `0..n_nodes`.
+    fn n_nodes(&self) -> usize;
+    /// All routing vertices, including internal switches (`>= n_nodes`).
+    fn n_vertices(&self) -> usize;
+    fn links(&self) -> &LinkTable;
+    /// The next vertex on the (unique, deterministic) route toward node
+    /// `dst`. Must follow a directed link and strictly approach `dst`.
+    fn next_hop(&self, cur: usize, dst: usize) -> usize;
+    /// Route length between two *nodes* in links.
+    fn hops(&self, a: usize, b: usize) -> u32;
+    /// Maximum route length over all node pairs.
+    fn diameter(&self) -> u32;
+
+    fn n_links(&self) -> usize {
+        self.links().len()
+    }
+
+    fn link_endpoints(&self, link: usize) -> (usize, usize) {
+        self.links().endpoints(link)
+    }
+
+    fn link_id(&self, from: usize, to: usize) -> Option<usize> {
+        self.links().id(from, to)
+    }
+
+    /// Append the route `a -> b` (directed link ids, in traversal order)
+    /// into `out` (cleared first). Empty when `a == b`.
+    fn route_into(&self, a: usize, b: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let mut cur = a;
+        while cur != b {
+            let nxt = self.next_hop(cur, b);
+            let link = self
+                .link_id(cur, nxt)
+                .unwrap_or_else(|| panic!("next_hop {cur}->{nxt} is not a link"));
+            out.push(link);
+            cur = nxt;
+        }
+    }
+
+    /// Display name of a vertex: node id, or `s<id>` for internal switches.
+    fn vertex_name(&self, v: usize) -> String {
+        if v < self.n_nodes() {
+            v.to_string()
+        } else {
+            format!("s{v}")
+        }
+    }
+
+    /// Display label of a directed link, e.g. `"3->7"` or `"0->s4"`.
+    fn link_label(&self, link: usize) -> String {
+        let (a, b) = self.link_endpoints(link);
+        format!("{}->{}", self.vertex_name(a), self.vertex_name(b))
+    }
+}
+
+/// Hypercube with e-cube (dimension-order) routing, lowest differing bit
+/// first — the link-visit order of the original analytical model.
+#[derive(Debug, Clone)]
+pub struct Hypercube {
+    n: usize,
+    dim: u32,
+    links: LinkTable,
+}
+
+impl Hypercube {
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0);
+        let dim = n.trailing_zeros();
+        let mut edges = Vec::with_capacity(n * dim as usize);
+        for v in 0..n {
+            for d in 0..dim {
+                edges.push((v, v ^ (1 << d)));
+            }
+        }
+        Self { n, dim, links: LinkTable::from_edges(edges) }
+    }
+
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+}
+
+impl Topology for Hypercube {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Hypercube
+    }
+    fn n_nodes(&self) -> usize {
+        self.n
+    }
+    fn n_vertices(&self) -> usize {
+        self.n
+    }
+    fn links(&self) -> &LinkTable {
+        &self.links
+    }
+    fn next_hop(&self, cur: usize, dst: usize) -> usize {
+        cur ^ (1 << (cur ^ dst).trailing_zeros())
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        ((a ^ b) as u64).count_ones()
+    }
+    fn diameter(&self) -> u32 {
+        self.dim
+    }
+}
+
+/// Near-square factorization: the largest divisor of `n` not exceeding
+/// `sqrt(n)` becomes the column count (so `cols <= rows`). Prime counts
+/// degenerate to a 1-wide line, which is still a valid mesh.
+fn grid_dims(n: usize) -> (usize, usize) {
+    let mut cols = (n as f64).sqrt().floor() as usize;
+    cols = cols.clamp(1, n);
+    while !n.is_multiple_of(cols) {
+        cols -= 1;
+    }
+    (n / cols, cols)
+}
+
+/// 2-D mesh with XY (column-first) dimension-order routing.
+#[derive(Debug, Clone)]
+pub struct Mesh2D {
+    rows: usize,
+    cols: usize,
+    links: LinkTable,
+}
+
+impl Mesh2D {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let (rows, cols) = grid_dims(n);
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((v, v + 1));
+                    edges.push((v + 1, v));
+                }
+                if r + 1 < rows {
+                    edges.push((v, v + cols));
+                    edges.push((v + cols, v));
+                }
+            }
+        }
+        Self { rows, cols, links: LinkTable::from_edges(edges) }
+    }
+
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+impl Topology for Mesh2D {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Mesh2D
+    }
+    fn n_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn n_vertices(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn links(&self) -> &LinkTable {
+        &self.links
+    }
+    fn next_hop(&self, cur: usize, dst: usize) -> usize {
+        let (cr, cc) = (cur / self.cols, cur % self.cols);
+        let (dr, dc) = (dst / self.cols, dst % self.cols);
+        if cc != dc {
+            cur.wrapping_add_signed(if dc > cc { 1 } else { -1 })
+        } else {
+            cur.wrapping_add_signed(if dr > cr { self.cols as isize } else { -(self.cols as isize) })
+        }
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        let (ar, ac) = (a / self.cols, a % self.cols);
+        let (br, bc) = (b / self.cols, b % self.cols);
+        (ar.abs_diff(br) + ac.abs_diff(bc)) as u32
+    }
+    fn diameter(&self) -> u32 {
+        (self.rows - 1 + self.cols - 1) as u32
+    }
+}
+
+/// Per-axis shortest wraparound step: `0` when aligned, else `+1`/`-1`
+/// around a cycle of length `len` (ties resolve to the increasing
+/// direction).
+fn wrap_step(cur: usize, dst: usize, len: usize) -> isize {
+    let fwd = (dst + len - cur) % len;
+    if fwd == 0 {
+        0
+    } else if fwd <= len - fwd {
+        1
+    } else {
+        -1
+    }
+}
+
+fn wrap_dist(a: usize, b: usize, len: usize) -> usize {
+    let fwd = (b + len - a) % len;
+    fwd.min(len - fwd)
+}
+
+/// 2-D torus: the mesh grid plus wraparound links, per-axis
+/// shortest-direction dimension-order routing (columns first).
+#[derive(Debug, Clone)]
+pub struct Torus2D {
+    rows: usize,
+    cols: usize,
+    links: LinkTable,
+}
+
+impl Torus2D {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let (rows, cols) = grid_dims(n);
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if cols > 1 {
+                    let right = r * cols + (c + 1) % cols;
+                    edges.push((v, right));
+                    edges.push((right, v));
+                }
+                if rows > 1 {
+                    let down = ((r + 1) % rows) * cols + c;
+                    edges.push((v, down));
+                    edges.push((down, v));
+                }
+            }
+        }
+        Self { rows, cols, links: LinkTable::from_edges(edges) }
+    }
+
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+impl Topology for Torus2D {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Torus2D
+    }
+    fn n_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn n_vertices(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn links(&self) -> &LinkTable {
+        &self.links
+    }
+    fn next_hop(&self, cur: usize, dst: usize) -> usize {
+        let (cr, cc) = (cur / self.cols, cur % self.cols);
+        let (dr, dc) = (dst / self.cols, dst % self.cols);
+        let dc_step = wrap_step(cc, dc, self.cols);
+        if dc_step != 0 {
+            let nc = (cc as isize + dc_step).rem_euclid(self.cols as isize) as usize;
+            cr * self.cols + nc
+        } else {
+            let nr = (cr as isize + wrap_step(cr, dr, self.rows)).rem_euclid(self.rows as isize)
+                as usize;
+            nr * self.cols + cc
+        }
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        let (ar, ac) = (a / self.cols, a % self.cols);
+        let (br, bc) = (b / self.cols, b % self.cols);
+        (wrap_dist(ar, br, self.rows) + wrap_dist(ac, bc, self.cols)) as u32
+    }
+    fn diameter(&self) -> u32 {
+        (self.rows / 2 + self.cols / 2) as u32
+    }
+}
+
+/// Ring with shortest-direction routing; the exact-half tie resolves
+/// clockwise (increasing ids).
+#[derive(Debug, Clone)]
+pub struct Ring {
+    n: usize,
+    links: LinkTable,
+}
+
+impl Ring {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let mut edges = Vec::new();
+        if n > 1 {
+            for v in 0..n {
+                edges.push((v, (v + 1) % n));
+                edges.push((v, (v + n - 1) % n));
+            }
+        }
+        Self { n, links: LinkTable::from_edges(edges) }
+    }
+}
+
+impl Topology for Ring {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Ring
+    }
+    fn n_nodes(&self) -> usize {
+        self.n
+    }
+    fn n_vertices(&self) -> usize {
+        self.n
+    }
+    fn links(&self) -> &LinkTable {
+        &self.links
+    }
+    fn next_hop(&self, cur: usize, dst: usize) -> usize {
+        match wrap_step(cur, dst, self.n) {
+            1 => (cur + 1) % self.n,
+            _ => (cur + self.n - 1) % self.n,
+        }
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        wrap_dist(a, b, self.n) as u32
+    }
+    fn diameter(&self) -> u32 {
+        (self.n / 2) as u32
+    }
+}
+
+/// Binary fat-tree over `n` (power-of-two) leaf nodes. Internal switches
+/// are extra vertices `n..2n-1`; leaf `i` is heap index `n + i`, switch
+/// vertex `v` is heap index `v - n + 1` (the root is vertex `n`). Packets
+/// climb to the lowest common ancestor and descend. Link bandwidth is
+/// uniform, so root links are the contention hot spot by construction —
+/// the layout with the worst peak demand in the topology sweep.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    n: usize,
+    depth: u32,
+    links: LinkTable,
+}
+
+impl FatTree {
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0);
+        let depth = n.trailing_zeros();
+        let mut edges = Vec::new();
+        for h in 2..2 * n {
+            let (child, parent) = (Self::vertex_of(n, h), Self::vertex_of(n, h / 2));
+            edges.push((child, parent));
+            edges.push((parent, child));
+        }
+        Self { n, depth, links: LinkTable::from_edges(edges) }
+    }
+
+    fn heap_of(n: usize, v: usize) -> usize {
+        if v < n {
+            n + v
+        } else {
+            v - n + 1
+        }
+    }
+
+    fn vertex_of(n: usize, h: usize) -> usize {
+        if h >= n {
+            h - n
+        } else {
+            n + h - 1
+        }
+    }
+
+    fn depth_of(h: usize) -> u32 {
+        usize::BITS - 1 - h.leading_zeros()
+    }
+}
+
+impl Topology for FatTree {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::FatTree
+    }
+    fn n_nodes(&self) -> usize {
+        self.n
+    }
+    fn n_vertices(&self) -> usize {
+        2 * self.n - 1
+    }
+    fn links(&self) -> &LinkTable {
+        &self.links
+    }
+    fn next_hop(&self, cur: usize, dst: usize) -> usize {
+        let hc = Self::heap_of(self.n, cur);
+        let hd = Self::heap_of(self.n, dst);
+        let (dc, dd) = (Self::depth_of(hc), Self::depth_of(hd));
+        if dd > dc && (hd >> (dd - dc)) == hc {
+            // `cur` is an ancestor of the destination: descend toward it.
+            Self::vertex_of(self.n, hd >> (dd - dc - 1))
+        } else {
+            Self::vertex_of(self.n, hc / 2)
+        }
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let (mut ha, mut hb) = (Self::heap_of(self.n, a), Self::heap_of(self.n, b));
+        let mut hops = 0;
+        while Self::depth_of(ha) > Self::depth_of(hb) {
+            ha /= 2;
+            hops += 1;
+        }
+        while Self::depth_of(hb) > Self::depth_of(ha) {
+            hb /= 2;
+            hops += 1;
+        }
+        while ha != hb {
+            ha /= 2;
+            hb /= 2;
+            hops += 2;
+        }
+        hops
+    }
+    fn diameter(&self) -> u32 {
+        2 * self.depth
+    }
+}
+
+/// Static dispatch over the five layouts (no `dyn` on the message hot
+/// path).
+#[derive(Debug, Clone)]
+pub enum AnyTopology {
+    Hypercube(Hypercube),
+    Mesh2D(Mesh2D),
+    Torus2D(Torus2D),
+    Ring(Ring),
+    FatTree(FatTree),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $t:ident => $body:expr) => {
+        match $self {
+            AnyTopology::Hypercube($t) => $body,
+            AnyTopology::Mesh2D($t) => $body,
+            AnyTopology::Torus2D($t) => $body,
+            AnyTopology::Ring($t) => $body,
+            AnyTopology::FatTree($t) => $body,
+        }
+    };
+}
+
+impl Topology for AnyTopology {
+    fn kind(&self) -> TopologyKind {
+        dispatch!(self, t => t.kind())
+    }
+    fn n_nodes(&self) -> usize {
+        dispatch!(self, t => t.n_nodes())
+    }
+    fn n_vertices(&self) -> usize {
+        dispatch!(self, t => t.n_vertices())
+    }
+    fn links(&self) -> &LinkTable {
+        dispatch!(self, t => t.links())
+    }
+    fn next_hop(&self, cur: usize, dst: usize) -> usize {
+        dispatch!(self, t => t.next_hop(cur, dst))
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        dispatch!(self, t => t.hops(a, b))
+    }
+    fn diameter(&self) -> u32 {
+        dispatch!(self, t => t.diameter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_routes(topo: &AnyTopology) {
+        let n = topo.n_nodes();
+        let mut route = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                topo.route_into(a, b, &mut route);
+                assert_eq!(route.len() as u32, topo.hops(a, b), "{a}->{b}");
+                assert!(route.len() as u32 <= topo.diameter(), "{a}->{b} beyond diameter");
+                let mut cur = a;
+                for &l in &route {
+                    let (from, to) = topo.link_endpoints(l);
+                    assert_eq!(from, cur, "{a}->{b}: discontinuous route");
+                    cur = to;
+                }
+                assert_eq!(cur, b, "{a}->{b}: route does not arrive");
+            }
+        }
+    }
+
+    #[test]
+    fn all_layouts_route_validly_at_representative_sizes() {
+        for kind in TopologyKind::ALL {
+            for n in [1usize, 2, 4, 8, 16, 32] {
+                if kind.supports(n) {
+                    check_routes(&kind.build(n));
+                }
+            }
+        }
+        // Non-power-of-two sizes for the layouts that allow them.
+        for kind in [TopologyKind::Mesh2D, TopologyKind::Torus2D, TopologyKind::Ring] {
+            for n in [3usize, 5, 6, 7, 12, 15] {
+                check_routes(&kind.build(n));
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_matches_hamming_distance() {
+        let t = TopologyKind::Hypercube.build(16);
+        for a in 0..16usize {
+            for b in 0..16usize {
+                assert_eq!(t.hops(a, b), ((a ^ b) as u64).count_ones());
+            }
+        }
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.n_links(), 16 * 4);
+    }
+
+    #[test]
+    fn hypercube_routes_fix_lowest_bit_first() {
+        // The e-cube visit order of the analytical model: 0 -> 7 goes
+        // 0 -> 1 -> 3 -> 7.
+        let t = TopologyKind::Hypercube.build(8);
+        let mut route = Vec::new();
+        t.route_into(0, 7, &mut route);
+        let hops: Vec<(usize, usize)> = route.iter().map(|&l| t.link_endpoints(l)).collect();
+        assert_eq!(hops, vec![(0, 1), (1, 3), (3, 7)]);
+    }
+
+    #[test]
+    fn mesh_factorization_is_near_square() {
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(12), (4, 3));
+        assert_eq!(grid_dims(7), (7, 1));
+        assert_eq!(grid_dims(1), (1, 1));
+    }
+
+    #[test]
+    fn torus_wraps_and_mesh_does_not() {
+        let mesh = TopologyKind::Mesh2D.build(16);
+        let torus = TopologyKind::Torus2D.build(16);
+        // Corner to corner: mesh pays the full Manhattan distance, the
+        // torus wraps both axes.
+        assert_eq!(mesh.hops(0, 15), 6);
+        assert_eq!(torus.hops(0, 15), 2);
+        assert!(torus.diameter() < mesh.diameter());
+    }
+
+    #[test]
+    fn ring_tie_breaks_clockwise() {
+        let t = TopologyKind::Ring.build(6);
+        // Distance 3 both ways: the route must go 0 -> 1 -> 2 -> 3.
+        let mut route = Vec::new();
+        t.route_into(0, 3, &mut route);
+        let hops: Vec<(usize, usize)> = route.iter().map(|&l| t.link_endpoints(l)).collect();
+        assert_eq!(hops, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn fat_tree_climbs_to_the_lca() {
+        let t = TopologyKind::FatTree.build(8);
+        assert_eq!(t.n_vertices(), 15);
+        assert_eq!(t.n_links(), 2 * (2 * 8 - 2));
+        // Siblings share a parent switch: two hops.
+        assert_eq!(t.hops(0, 1), 2);
+        // Opposite halves route through the root: the full diameter.
+        assert_eq!(t.hops(0, 7), 6);
+        assert_eq!(t.diameter(), 6);
+        // Every intermediate vertex of a cross-tree route is a switch.
+        let mut route = Vec::new();
+        t.route_into(0, 7, &mut route);
+        for &l in &route[..route.len() - 1] {
+            let (_, to) = t.link_endpoints(l);
+            assert!(to >= t.n_nodes(), "intermediate vertex {to} is not a switch");
+            assert!(t.link_label(l).contains("s"));
+        }
+    }
+
+    #[test]
+    fn uniprocessor_layouts_degenerate() {
+        for kind in TopologyKind::ALL {
+            let t = kind.build(1);
+            assert_eq!(t.hops(0, 0), 0);
+            assert_eq!(t.diameter(), 0);
+            assert!(t.n_links() == 0);
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(TopologyKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(TopologyKind::from_name("3d-chiplet"), None);
+    }
+}

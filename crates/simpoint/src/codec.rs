@@ -1,4 +1,4 @@
-//! Versioned, deterministic binary checkpoint codec (`DSMCKPT1`).
+//! Versioned, deterministic binary checkpoint codec (`DSMCKPT2`).
 //!
 //! A checkpoint is the pair (simulator state, detector-collector state) at a
 //! global interval boundary, plus the metadata needed to rebuild the machine
@@ -23,10 +23,16 @@ use dsm_sim::state::{
     BarrierSnap, CacheState, DirectoryState, FaultSnap, GshareState, HomeMapState, LockSnap,
     MemCtrlState, NetworkState, ProcessorState, SystemState,
 };
+use dsm_sim::topology::TopologyKind;
 use dsm_workloads::{App, Scale};
 
-/// Magic prefix: format name plus version digit.
-pub const MAGIC: &[u8; 8] = b"DSMCKPT1";
+/// Magic prefix: format name plus version digit. Version 2 added the
+/// route-aware fabric: the topology + link-contention flag in the metadata
+/// and the per-link flit counters in the network section.
+pub const MAGIC: &[u8; 8] = b"DSMCKPT2";
+
+/// The version-independent format prefix shared by every `DSMCKPT` version.
+const MAGIC_FAMILY: &[u8; 7] = b"DSMCKPT";
 
 /// Decode failure. Every variant is reachable from corrupt input; none of
 /// them panic or allocate unboundedly.
@@ -34,6 +40,9 @@ pub const MAGIC: &[u8; 8] = b"DSMCKPT1";
 pub enum CkptError {
     /// The buffer does not start with [`MAGIC`].
     BadMagic,
+    /// A `DSMCKPT` checkpoint of a different version (e.g. a pre-fabric
+    /// `DSMCKPT1` file); re-capture the checkpoint with this build.
+    UnsupportedVersion { version: u8 },
     /// The buffer ended before the structure it claims to hold.
     Truncated,
     /// Well-formed structure followed by unconsumed bytes.
@@ -48,7 +57,10 @@ pub enum CkptError {
 impl std::fmt::Display for CkptError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CkptError::BadMagic => write!(f, "not a DSMCKPT1 checkpoint (bad magic)"),
+            CkptError::BadMagic => write!(f, "not a DSMCKPT2 checkpoint (bad magic)"),
+            CkptError::UnsupportedVersion { version } => {
+                write!(f, "unsupported DSMCKPT version {:?}", *version as char)
+            }
             CkptError::Truncated => write!(f, "checkpoint truncated"),
             CkptError::TrailingBytes => write!(f, "trailing bytes after checkpoint"),
             CkptError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
@@ -69,6 +81,12 @@ pub struct CheckpointMeta {
     pub n_procs: usize,
     pub scale: Scale,
     pub interval_base: u64,
+    /// Interconnect layout the snapshot's link vectors are indexed by;
+    /// restoring on a different topology is a config error, not a decode
+    /// error, so it is carried explicitly.
+    pub topology: TopologyKind,
+    /// Whether the captured run modelled per-link wormhole contention.
+    pub link_contention: bool,
     pub plan: FaultPlan,
     pub geometry: DetectorGeometry,
     pub interval_index: u64,
@@ -401,7 +419,9 @@ fn put_system(w: &mut W, s: &SystemState) {
     w.u64(s.network.payload_msgs);
     w.u64(s.network.total_hops);
     w.u64(s.network.link_wait_cycles);
+    w.u64(s.network.total_flit_hops);
     w.vec_u64(&s.network.link_busy);
+    w.vec_u64(&s.network.link_flits);
     w.u64(s.memctrls.len() as u64);
     for m in &s.memctrls {
         w.vec_u64(&m.busy_until);
@@ -482,8 +502,13 @@ fn get_system(r: &mut R) -> D<SystemState> {
         payload_msgs: r.u64()?,
         total_hops: r.u64()?,
         link_wait_cycles: r.u64()?,
+        total_flit_hops: r.u64()?,
         link_busy: r.vec_u64()?,
+        link_flits: r.vec_u64()?,
     };
+    if network.link_flits.len() != network.link_busy.len() {
+        return Err(CkptError::BadValue { what: "network link vector lengths" });
+    }
     let n_mc = r.len(24)?;
     let memctrls = (0..n_mc)
         .map(|_| {
@@ -680,6 +705,10 @@ impl Checkpoint {
             Scale::Paper => 2,
         });
         w.u64(m.interval_base);
+        let topo_idx =
+            TopologyKind::ALL.iter().position(|k| *k == m.topology).expect("known topology") as u8;
+        w.u8(topo_idx);
+        w.boolean(m.link_contention);
         let p = &m.plan;
         w.u64(p.seed);
         w.u64(p.drop_ppm as u64);
@@ -704,8 +733,12 @@ impl Checkpoint {
     /// Decode a `DSMCKPT1` buffer. Total: any input yields `Ok` or a typed
     /// [`CkptError`]; never panics, never over-allocates on hostile lengths.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
-        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC_FAMILY.len()] != MAGIC_FAMILY {
             return Err(CkptError::BadMagic);
+        }
+        let version = bytes[MAGIC_FAMILY.len()];
+        if version != MAGIC[MAGIC_FAMILY.len()] {
+            return Err(CkptError::UnsupportedVersion { version });
         }
         let mut r = R { b: &bytes[MAGIC.len()..] };
         let app_tag = r.u8()?;
@@ -723,6 +756,11 @@ impl Checkpoint {
             t => return Err(CkptError::BadTag { what: "scale", tag: t as u64 }),
         };
         let interval_base = r.u64()?;
+        let topo_tag = r.u8()?;
+        let topology = *TopologyKind::ALL
+            .get(topo_tag as usize)
+            .ok_or(CkptError::BadTag { what: "topology", tag: topo_tag as u64 })?;
+        let link_contention = r.boolean("link_contention")?;
         let plan = FaultPlan {
             seed: r.u64()?,
             drop_ppm: r.u32_checked("drop_ppm")?,
@@ -758,6 +796,8 @@ impl Checkpoint {
                 n_procs,
                 scale,
                 interval_base,
+                topology,
+                link_contention,
                 plan,
                 geometry,
                 interval_index,
@@ -808,6 +848,8 @@ mod tests {
                 n_procs: 2,
                 scale: Scale::Test,
                 interval_base: 16_000,
+                topology: TopologyKind::Torus2D,
+                link_contention: true,
                 plan: FaultPlan::mixed(7, 0.01),
                 geometry: DetectorGeometry::default(),
                 interval_index: 7,
@@ -823,7 +865,9 @@ mod tests {
                     payload_msgs: 13,
                     total_hops: 55,
                     link_wait_cycles: 6,
+                    total_flit_hops: 130,
                     link_busy: vec![100, 90],
+                    link_flits: vec![52, 78],
                 },
                 memctrls: vec![
                     MemCtrlState { busy_until: vec![50, 60], requests: 7, total_queue_delay: 11 },
@@ -889,9 +933,31 @@ mod tests {
     fn bad_magic_rejected() {
         assert_eq!(Checkpoint::decode(b""), Err(CkptError::BadMagic));
         assert_eq!(Checkpoint::decode(b"DSMTRC2\n"), Err(CkptError::BadMagic));
+        assert_eq!(Checkpoint::decode(b"DSMTRC3\n"), Err(CkptError::BadMagic));
+    }
+
+    #[test]
+    fn old_and_future_versions_report_unsupported_version() {
+        // A pre-fabric DSMCKPT1 body is not decodable by this build: the
+        // version digit alone must produce the typed error, never a panic,
+        // regardless of what follows it.
+        for (payload, version) in [
+            (&b"DSMCKPT1"[..], b'1'),
+            (b"DSMCKPT1\x00\x01\x02\x03", b'1'),
+            (b"DSMCKPT9garbage", b'9'),
+        ] {
+            assert_eq!(
+                Checkpoint::decode(payload),
+                Err(CkptError::UnsupportedVersion { version }),
+                "payload {payload:?}"
+            );
+        }
         let mut bytes = sample_checkpoint().encode();
-        bytes[7] = b'9';
-        assert_eq!(Checkpoint::decode(&bytes), Err(CkptError::BadMagic));
+        bytes[7] = b'1';
+        assert_eq!(
+            Checkpoint::decode(&bytes),
+            Err(CkptError::UnsupportedVersion { version: b'1' })
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Property tests for the `DSMCKPT1` checkpoint codec: decoding is *total*
+//! Property tests for the `DSMCKPT2` checkpoint codec: decoding is *total*
 //! (any input — random bytes, corrupted checkpoints, truncations — yields a
 //! typed error or a valid checkpoint, never a panic), and the encoding is
 //! canonical (whatever decodes re-encodes to the identical bytes).
@@ -14,6 +14,7 @@ use dsm_sim::state::{
     BarrierSnap, CacheState, DirectoryState, FaultSnap, GshareState, HomeMapState, LockSnap,
     MemCtrlState, NetworkState, ProcessorState, SystemState,
 };
+use dsm_sim::topology::TopologyKind;
 use dsm_sim::util::splitmix64;
 use dsm_sim::ProcStats;
 use dsm_simpoint::{Checkpoint, CheckpointMeta, MAGIC};
@@ -113,6 +114,8 @@ fn synth(seed: u64, n_procs: usize, n_recs: usize) -> Checkpoint {
             n_procs,
             scale: [Scale::Test, Scale::Scaled, Scale::Paper][(g.u() % 3) as usize],
             interval_base: 16_000,
+            topology: TopologyKind::ALL[(g.u() % 5) as usize],
+            link_contention: g.u().is_multiple_of(2),
             plan: if g.u().is_multiple_of(2) { FaultPlan::none() } else { FaultPlan::mixed(g.u(), 0.01) },
             geometry: DetectorGeometry::default(),
             interval_index: g.u() % 64,
@@ -137,7 +140,9 @@ fn synth(seed: u64, n_procs: usize, n_recs: usize) -> Checkpoint {
                 payload_msgs: g.u(),
                 total_hops: g.u(),
                 link_wait_cycles: g.u(),
+                total_flit_hops: g.u(),
                 link_busy: g.vec(n_procs * 2),
+                link_flits: g.vec(n_procs * 2),
             },
             memctrls: (0..n_procs)
                 .map(|_| MemCtrlState {
