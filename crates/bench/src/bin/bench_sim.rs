@@ -21,6 +21,7 @@ use dsm_bench::alloc_track::CountingAlloc;
 use dsm_bench::simbench::{measure, point_key};
 use dsm_bench::bench_matrix;
 use dsm_harness::json::{parse, Json};
+use dsm_harness::scale::{scale_sweep, SCALE_PROCS};
 use dsm_workloads::App;
 
 #[global_allocator]
@@ -28,6 +29,8 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 const SCHEMA: &str = "dsm-bench-sim/v1";
 const SAMPLES: usize = 7;
+/// Timed runs per arm and point of the 16/64/128-processor scaling curve.
+const SCALE_SAMPLES: usize = 7;
 
 fn default_path() -> PathBuf {
     // crates/bench -> repo root.
@@ -62,7 +65,11 @@ fn read_json(path: &Path) -> Option<Json> {
     }
 }
 
-/// Per-key ratios current/baseline plus their geometric mean.
+/// Per-key ratios current/baseline plus their geometric mean. Keys measured
+/// now but absent from the recorded map — a baseline written before the
+/// bench matrix grew (say, before the 64P/128P points existed) — are
+/// reported as `"new entry"` rather than silently skipped or failed; the
+/// geomean covers only keys present on both sides.
 fn speedups(baseline: &Json, current: &Json) -> Json {
     let mut out = Json::obj();
     let mut log_sum = 0.0;
@@ -81,15 +88,40 @@ fn speedups(baseline: &Json, current: &Json) -> Json {
                 }
             }
         }
+        if let Json::Obj(cur) = cur {
+            for (key, cv) in cur {
+                if cv.as_f64().is_some() && base.iter().all(|(k, _)| k != key) {
+                    out = out.field(key, "new entry");
+                }
+            }
+        }
     }
     let geomean = if count > 0 { (log_sum / count as f64).exp() } else { 1.0 };
     out.field("geomean", (geomean * 1000.0).round() / 1000.0)
 }
 
+/// The beyond-paper scaling curve (`current` only): Ocean — the most
+/// interval-dense workload, i.e. the collection-bound regime the sharded
+/// core targets — at each of [`SCALE_PROCS`], reference serial arm vs the
+/// sharded core with hierarchical DDV reduction.
+fn scaling_json(samples: usize) -> Json {
+    let points = scale_sweep(App::Ocean, samples);
+    Json::obj()
+        .field("app", "Ocean")
+        .field("samples", samples)
+        .field(
+            "points",
+            Json::Arr(points.iter().map(|p| p.to_json()).collect()),
+        )
+}
+
 fn update(path: &Path, reset_baseline: bool) -> ExitCode {
     eprintln!("measuring simulator throughput ({SAMPLES} samples per point)...");
     let m = measure(SAMPLES);
-    let current = m.to_json("current");
+    eprintln!(
+        "measuring the scaling curve (Ocean at {SCALE_PROCS:?} procs, {SCALE_SAMPLES} samples per arm)..."
+    );
+    let current = m.to_json("current").field("scaling", scaling_json(SCALE_SAMPLES));
     let baseline = if reset_baseline {
         None
     } else {
@@ -133,6 +165,21 @@ fn print_summary(doc: &Json) {
         .and_then(Json::as_f64)
     {
         println!("steady-state allocs per classified interval: {a}");
+    }
+    if let Some(points) = doc
+        .get("current")
+        .and_then(|c| c.get("scaling"))
+        .and_then(|s| s.get("points"))
+        .and_then(Json::as_arr)
+    {
+        for p in points {
+            if let (Some(n), Some(s)) = (
+                p.get("n_procs").and_then(Json::as_f64),
+                p.get("speedup").and_then(Json::as_f64),
+            ) {
+                println!("scaling: {n}P sharded-vs-reference speedup {s}x");
+            }
+        }
     }
 }
 
@@ -232,6 +279,44 @@ fn check(path: &Path) -> ExitCode {
         }
         None => errors.push("missing `current.checkpoint_roundtrip` group".into()),
     }
+    // The scaling curve is required in `current` only (baselines recorded
+    // before the sharded core may predate it): every SCALE_PROCS point,
+    // positive rates in both arms, bit-identity asserted, CoV-of-CPI logged.
+    match doc
+        .get("current")
+        .and_then(|c| c.get("scaling"))
+        .and_then(|s| s.get("points"))
+        .and_then(Json::as_arr)
+    {
+        Some(points) => {
+            for n in SCALE_PROCS {
+                let Some(p) = points
+                    .iter()
+                    .find(|p| p.get("n_procs").and_then(Json::as_f64) == Some(n as f64))
+                else {
+                    errors.push(format!("`current.scaling` missing the {n}-processor point"));
+                    continue;
+                };
+                for key in ["reference_events_per_sec", "sharded_events_per_sec", "speedup"] {
+                    match p.get(key).and_then(Json::as_f64) {
+                        Some(v) if v > 0.0 => {}
+                        _ => errors.push(format!(
+                            "`current.scaling` {n}P point: `{key}` missing or non-positive"
+                        )),
+                    }
+                }
+                if p.get("bit_identical") != Some(&Json::Bool(true)) {
+                    errors.push(format!(
+                        "`current.scaling` {n}P point did not assert sharded/serial bit-identity"
+                    ));
+                }
+                if p.get("cov_cpi").and_then(Json::as_f64).is_none() {
+                    errors.push(format!("`current.scaling` {n}P point: `cov_cpi` missing"));
+                }
+            }
+        }
+        None => errors.push("missing `current.scaling.points` group".into()),
+    }
     if doc.get("speedup_events_per_sec").is_none() {
         errors.push("missing `speedup_events_per_sec`".into());
     }
@@ -247,5 +332,43 @@ fn check(path: &Path) -> ExitCode {
             eprintln!("FAIL: {e}");
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(pairs: &[(&str, f64)]) -> Json {
+        let map = pairs
+            .iter()
+            .fold(Json::obj(), |o, (k, v)| o.field(k, *v));
+        Json::obj().field("events_per_sec", map)
+    }
+
+    #[test]
+    fn speedups_reports_matrix_growth_as_new_entries() {
+        // Baseline recorded before the 64P/128P scale points existed.
+        let baseline = eps(&[("lu-2p", 100.0), ("lu-8p", 50.0)]);
+        let current = eps(&[("lu-2p", 200.0), ("lu-8p", 50.0), ("ocean-64p", 10.0)]);
+        let s = speedups(&baseline, &current);
+        assert_eq!(s.get("lu-2p").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(s.get("lu-8p").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(s.get("ocean-64p").and_then(Json::as_str), Some("new entry"));
+        // Geomean covers only the shared keys: sqrt(2.0 * 1.0).
+        let g = s.get("geomean").and_then(Json::as_f64).unwrap();
+        assert!((g - 1.414).abs() < 1e-9, "geomean = {g}");
+    }
+
+    #[test]
+    fn speedups_identical_maps_have_no_new_entries() {
+        let baseline = eps(&[("lu-2p", 100.0)]);
+        let s = speedups(&baseline, &baseline);
+        assert_eq!(s.get("lu-2p").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(s.get("geomean").and_then(Json::as_f64), Some(1.0));
+        match s {
+            Json::Obj(fields) => assert_eq!(fields.len(), 2),
+            _ => unreachable!(),
+        }
     }
 }

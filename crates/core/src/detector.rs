@@ -169,13 +169,18 @@ impl Default for DetectorGeometry {
 
 /// Records per-interval feature snapshots for offline classification.
 pub struct TraceCollector {
-    geometry: DetectorGeometry,
-    bbv: Vec<BbvAccumulator>,
-    ws: Vec<WsSignature>,
-    branches: Vec<u64>,
-    ddv: DdvState,
+    pub(crate) geometry: DetectorGeometry,
+    pub(crate) bbv: Vec<BbvAccumulator>,
+    pub(crate) ws: Vec<WsSignature>,
+    pub(crate) branches: Vec<u64>,
+    pub(crate) ddv: DdvState,
     /// Captured records, per processor, in interval order.
     pub records: Vec<Vec<IntervalRecord>>,
+    /// Use the pre-optimization O(n²) all-to-one gather at interval ends
+    /// (the scaling benchmark's reference arm). Must be chosen before the
+    /// run — the fast and reference gathers keep different snapshot state
+    /// and cannot be mixed on one instance.
+    pub(crate) reference_gather: bool,
 }
 
 impl TraceCollector {
@@ -189,6 +194,7 @@ impl TraceCollector {
             ddv: DdvState::new(n_procs, dist),
             records: vec![Vec::new(); n_procs],
             geometry,
+            reference_gather: false,
         }
     }
 
@@ -201,6 +207,7 @@ impl TraceCollector {
             ddv: DdvState::for_hypercube(n_procs),
             records: vec![Vec::new(); n_procs],
             geometry,
+            reference_gather: false,
         }
     }
 
@@ -210,6 +217,19 @@ impl TraceCollector {
 
     pub fn ddv(&self) -> &DdvState {
         &self.ddv
+    }
+
+    /// Mutable DDV state, for pre-run configuration (collection topology).
+    pub fn ddv_mut(&mut self) -> &mut DdvState {
+        &mut self.ddv
+    }
+
+    /// Switch interval ends to the pre-optimization O(n²) all-to-one
+    /// gather ([`DdvState::end_interval_reference_into`]). The scaling
+    /// benchmark's reference arm; set before the run and never mid-run
+    /// (the two gather styles keep different snapshot state).
+    pub fn set_reference_gather(&mut self, on: bool) {
+        self.reference_gather = on;
     }
 
     /// Total intervals captured across all processors.
@@ -279,7 +299,13 @@ impl SimObserver for TraceCollector {
     }
 
     fn on_interval(&mut self, proc: usize, stats: IntervalStats) {
-        let sample = self.ddv.end_interval(proc);
+        let sample = if self.reference_gather {
+            let mut s = DdsSample::empty();
+            self.ddv.end_interval_reference_into(proc, &mut s);
+            s
+        } else {
+            self.ddv.end_interval(proc)
+        };
         self.records[proc].push(IntervalRecord {
             proc,
             index: stats.index,

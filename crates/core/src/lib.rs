@@ -18,6 +18,11 @@
 //! * [`detector`] — the end-to-end detectors (`BBV` and `BBV+DDV`) as
 //!   simulator observers, plus the offline trace classifier used for
 //!   threshold sweeps (equivalent by construction; see DESIGN.md).
+//! * [`shard_collector`] — the parallel trace-capture path: a serial
+//!   coordinator stages observer events (keeping the O(n) DDV aggregate in
+//!   global order) and host worker threads drain the per-processor work at
+//!   conservative window boundaries, bit-identical to [`detector`]'s serial
+//!   collector at any thread count.
 //! * [`predictor`] — phase predictors (last-phase and run-length Markov),
 //!   the paper's stated future-work direction.
 //! * [`working_set`], [`branch_count`] — the related-work baselines of
@@ -34,6 +39,7 @@ pub mod detector;
 pub mod distance;
 pub mod footprint;
 pub mod predictor;
+pub mod shard_collector;
 pub mod telem;
 pub mod working_set;
 
@@ -44,6 +50,7 @@ pub use detector::{
     OnlineDetector, Thresholds, TraceClassifier, TraceCollector,
 };
 pub use footprint::{FootprintTable, Match};
+pub use shard_collector::{DrainCounters, ShardedCollector};
 pub use predictor::{LastPhasePredictor, Markov2Predictor, PhasePredictor, RlePredictor};
 
 /// Default accumulator size (32 in the paper: "a 32-entry accumulator and a

@@ -39,6 +39,7 @@ pub mod json;
 pub mod overhead;
 pub mod parallel;
 pub mod report;
+pub mod scale;
 pub mod sensitivity;
 pub mod simpoint;
 pub mod sweep;

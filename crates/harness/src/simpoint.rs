@@ -73,7 +73,23 @@ pub fn capture_with_checkpoints(
 ) -> (Vec<(u64, Vec<u8>)>, SystemTrace) {
     let mut sys_cfg = config.system_config();
     sys_cfg.fault = plan;
-    capture_checkpoints_inner(config, sys_cfg, boundaries, false)
+    capture_checkpoints_inner(config, sys_cfg, boundaries, false, 0)
+}
+
+/// [`capture_with_checkpoints`] on the sharded parallel core: the run
+/// executes under `shards` shards (conservative window barrier included)
+/// and each checkpoint records the shard count in its `DSMCKPT3` metadata,
+/// so [`resume_checkpoint`] re-enables the identical sharded scheduler.
+/// Bit-identical to the serial capture — the round-trip suite pins this.
+pub fn capture_with_checkpoints_sharded(
+    config: ExperimentConfig,
+    plan: FaultPlan,
+    boundaries: &[u64],
+    shards: usize,
+) -> (Vec<(u64, Vec<u8>)>, SystemTrace) {
+    let mut sys_cfg = config.system_config();
+    sys_cfg.fault = plan;
+    capture_checkpoints_inner(config, sys_cfg, boundaries, false, shards)
 }
 
 /// [`capture_with_checkpoints`] with an explicit machine configuration —
@@ -84,7 +100,7 @@ pub fn capture_with_checkpoints_cfg(
     sys_cfg: SystemConfig,
     boundaries: &[u64],
 ) -> (Vec<(u64, Vec<u8>)>, SystemTrace) {
-    capture_checkpoints_inner(config, sys_cfg, boundaries, false)
+    capture_checkpoints_inner(config, sys_cfg, boundaries, false, 0)
 }
 
 fn capture_checkpoints_inner(
@@ -92,12 +108,16 @@ fn capture_checkpoints_inner(
     sys_cfg: SystemConfig,
     boundaries: &[u64],
     strip_records: bool,
+    shards: usize,
 ) -> (Vec<(u64, Vec<u8>)>, SystemTrace) {
     let mut sorted: Vec<u64> = boundaries.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
 
     let mut sys = fresh_system(config, sys_cfg.clone());
+    if shards > 1 {
+        sys.enable_sharding(shards);
+    }
     let mut ckpts = Vec::with_capacity(sorted.len());
     for &b in &sorted {
         let reached = sys.run_to_interval(b);
@@ -195,6 +215,13 @@ pub fn resume_checkpoint(ck: &Checkpoint) -> AppSystem {
     collector.import_state(&ck.collector);
 
     let mut sys = System::new(sys_cfg, stream, collector);
+    // Re-enable the captured shard layout first, so the state restore
+    // rebuilds its per-shard scheduler trees from the restored processor
+    // states. The continuation is bit-identical either way (sharded ≡
+    // serial), but the resumed machine must *be* the machine captured.
+    if ck.meta.shards > 1 {
+        sys.enable_sharding(ck.meta.shards);
+    }
     sys.restore_state(&ck.system);
     sys
 }
@@ -286,7 +313,7 @@ pub fn sampled_run(config: ExperimentConfig, plan: FaultPlan) -> SimpointResult 
     let boundaries: Vec<u64> = samples.iter().flatten().map(|u| u.interval as u64).collect();
     let mut ckpt_cfg = config.system_config();
     ckpt_cfg.fault = plan;
-    let (ckpts, golden) = capture_checkpoints_inner(config, ckpt_cfg, &boundaries, true);
+    let (ckpts, golden) = capture_checkpoints_inner(config, ckpt_cfg, &boundaries, true, 0);
     assert_eq!(
         golden.stats, profile.stats,
         "{}: checkpoint pass diverged from profiling pass",
@@ -461,6 +488,8 @@ fn snapshot(
             plan: sys_cfg.fault,
             geometry: sys.observer().geometry(),
             interval_index: boundary,
+            // 0 = the serial core; resume re-enables the same sharding.
+            shards: sys.shard_layout().map_or(0, |l| l.n_shards()),
         },
         system: sys.state_snapshot(),
         collector: sys.observer().export_state(),

@@ -38,6 +38,7 @@ pub mod network;
 pub mod observer;
 pub mod processor;
 pub mod sched;
+pub mod shard;
 pub mod state;
 pub mod stats;
 pub mod system;
@@ -53,6 +54,7 @@ pub use config::{
 pub use fault::{FaultState, FaultStats};
 pub use event::{Event, InstructionStream};
 pub use observer::{IntervalStats, NullObserver, SimObserver};
+pub use shard::{cross_shard_lookahead, ShardLayout, WindowCounters};
 pub use state::SystemState;
 pub use stats::{ProcStats, SystemStats};
 pub use system::System;

@@ -68,6 +68,13 @@ impl MinTree {
     }
 
     /// Update participant `i`'s key and replay its path to the root.
+    ///
+    /// The replay stops early once a node's winner is an *unchanged*
+    /// participant equal to the stored winner: only `i`'s key moved, so
+    /// every ancestor comparison then sees the same (key, leaf) pair and
+    /// cannot change. Updates to a processor that was not the running
+    /// minimum (lock grants, barrier releases, memory wakeups) usually
+    /// terminate after one level.
     #[inline]
     pub fn set_key(&mut self, i: usize, key: u64) {
         debug_assert!(i < self.n);
@@ -75,10 +82,15 @@ impl MinTree {
             return;
         }
         self.keys[i] = key;
+        let leaf = i as u32;
         let mut k = (self.size + i) >> 1;
         while k >= 1 {
-            let (l, r) = (self.win[2 * k] as usize, self.win[2 * k + 1] as usize);
-            self.win[k] = if self.keys[l] <= self.keys[r] { l as u32 } else { r as u32 };
+            let (l, r) = (self.win[2 * k], self.win[2 * k + 1]);
+            let w = if self.keys[l as usize] <= self.keys[r as usize] { l } else { r };
+            if self.win[k] == w && w != leaf {
+                return;
+            }
+            self.win[k] = w;
             k >>= 1;
         }
     }
@@ -93,6 +105,14 @@ impl MinTree {
         } else {
             Some(w)
         }
+    }
+
+    /// The smallest key (`u64::MAX` when every participant is parked).
+    /// O(1); the sharded scheduler's top tournament reads shard minima
+    /// through this on every update.
+    #[inline]
+    pub fn min_key(&self) -> u64 {
+        self.keys[self.win[1] as usize]
     }
 }
 

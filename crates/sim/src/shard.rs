@@ -1,0 +1,501 @@
+//! Sharded execution scaffolding: node partitioning, the two-level
+//! tournament scheduler, and the conservative time-window barrier.
+//!
+//! A single simulation is partitioned into `shards` of contiguous node
+//! ranges. Each shard keeps its own [`MinTree`] over its local processors
+//! and a top-level tournament over the shard minima names the next
+//! processor to run — exactly the `(cycle, id)` order of one flat tree,
+//! because ties resolve to the lowest shard and, within a shard, to the
+//! lowest local id (shards are contiguous, so that is the lowest global
+//! id). The event loop therefore stays bit-identical to the serial core at
+//! any shard count; what sharding buys is structure: per-shard staging
+//! buffers for offloaded observer work, drained by worker threads at
+//! window boundaries (see the sharded collector in the core crate), and
+//! per-shard accounting of load skew.
+//!
+//! The conservative window is classic PDES: with a lookahead `L` equal to
+//! the minimum uncontended cross-shard delivery latency of the routed
+//! fabric, no message sent by a shard at or after the window base `B` can
+//! affect another shard before `B + L` — so everything with a timestamp in
+//! `[B, B + L)` is safe to treat as one window. Coherence interactions
+//! are still resolved in canonical order by the coordinator (the paper's
+//! atomic-coherence model leaves them zero lookahead); the windows gate
+//! when staged cross-shard work may be drained, and the property suite
+//! pins both the lookahead bound and the per-event window invariants.
+//!
+//! Pure compute events (`Block`/`Fp`) are exempt from the horizon gate:
+//! they touch no shared state, so a compute batch may legally overrun the
+//! window — the standard "local lookahead" exemption.
+
+use crate::network::Network;
+use crate::sched::MinTree;
+
+/// A partition of `n` nodes into contiguous shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLayout {
+    n: usize,
+    /// Start index of each shard, plus a final `n` sentinel.
+    bounds: Vec<usize>,
+}
+
+impl ShardLayout {
+    /// Split `n` nodes into `shards` contiguous blocks as evenly as
+    /// possible (the first `n % shards` blocks get one extra node).
+    /// `shards` is clamped to `[1, n]`.
+    pub fn contiguous(n: usize, shards: usize) -> Self {
+        assert!(n > 0, "cannot shard zero nodes");
+        let s = shards.clamp(1, n);
+        let (base, extra) = (n / s, n % s);
+        let mut bounds = Vec::with_capacity(s + 1);
+        let mut at = 0;
+        for i in 0..s {
+            bounds.push(at);
+            at += base + usize::from(i < extra);
+        }
+        bounds.push(n);
+        Self { n, bounds }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The contiguous node range of shard `s`.
+    pub fn procs(&self, s: usize) -> std::ops::Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// Which shard node `p` lives in.
+    pub fn shard_of(&self, p: usize) -> usize {
+        debug_assert!(p < self.n);
+        // bounds is sorted; partition_point gives the first bound > p.
+        self.bounds.partition_point(|&b| b <= p) - 1
+    }
+}
+
+/// Minimum uncontended cross-shard one-way latency of the routed fabric —
+/// the conservative lookahead `L`. Always ≥ 1 for a real layout (every
+/// delivery pays at least one hop plus router traversal); a single-shard
+/// layout has no cross-shard pair and falls back to the fabric's diameter
+/// latency (the window then never constrains anything).
+pub fn cross_shard_lookahead(net: &Network, layout: &ShardLayout) -> u64 {
+    assert_eq!(net.n_nodes(), layout.n_nodes(), "layout and fabric disagree on node count");
+    let mut min = u64::MAX;
+    for a in 0..layout.n_nodes() {
+        let sa = layout.shard_of(a);
+        for b in 0..layout.n_nodes() {
+            if layout.shard_of(b) != sa {
+                min = min.min(net.latency(a, b, false));
+            }
+        }
+    }
+    if min == u64::MAX {
+        net.max_one_way(false).max(1)
+    } else {
+        min.max(1)
+    }
+}
+
+/// Two-level tournament scheduler: per-shard [`MinTree`]s plus a top
+/// tournament over the shard minima. Same API and identical pick order as
+/// one flat [`MinTree`] over all processors.
+#[derive(Debug, Clone)]
+pub struct ShardedSched {
+    layout: ShardLayout,
+    trees: Vec<MinTree>,
+    /// Tournament over shard minima; key = the shard's minimum key.
+    top: MinTree,
+    /// Per-processor shard index (avoids a bounds search on the hot path).
+    shard: Vec<u32>,
+    /// Per-processor shard start (global id of the shard's first node).
+    start: Vec<u32>,
+    /// Per-shard start (same data keyed by shard, for the `min` path).
+    shard_start: Vec<u32>,
+}
+
+impl ShardedSched {
+    /// Build with every processor at key 0 (like [`MinTree::new`]).
+    pub fn new(layout: ShardLayout) -> Self {
+        let trees: Vec<MinTree> =
+            (0..layout.n_shards()).map(|s| MinTree::new(layout.procs(s).len())).collect();
+        let top = MinTree::new(layout.n_shards());
+        let n = layout.n_nodes();
+        let (mut shard, mut start) = (vec![0u32; n], vec![0u32; n]);
+        let mut shard_start = vec![0u32; layout.n_shards()];
+        for s in 0..layout.n_shards() {
+            let r = layout.procs(s);
+            shard_start[s] = r.start as u32;
+            for p in r.clone() {
+                shard[p] = s as u32;
+                start[p] = r.start as u32;
+            }
+        }
+        Self { layout, trees, top, shard, start, shard_start }
+    }
+
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    pub fn len(&self) -> usize {
+        self.layout.n_nodes()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn key(&self, p: usize) -> u64 {
+        self.trees[self.shard[p] as usize].key(p - self.start[p] as usize)
+    }
+
+    /// Which shard `p` lives in — O(1), unlike [`ShardLayout::shard_of`].
+    #[inline]
+    pub fn shard_id(&self, p: usize) -> usize {
+        self.shard[p] as usize
+    }
+
+    pub fn runnable(&self) -> usize {
+        self.trees.iter().map(|t| t.runnable()).sum()
+    }
+
+    #[inline]
+    pub fn set_key(&mut self, p: usize, key: u64) {
+        let s = self.shard[p] as usize;
+        self.trees[s].set_key(p - self.start[p] as usize, key);
+        self.top.set_key(s, self.trees[s].min_key());
+    }
+
+    /// The processor with the smallest `(key, id)` across all shards.
+    #[inline]
+    pub fn min(&self) -> Option<usize> {
+        let s = self.top.min()?;
+        let local = self.trees[s].min().expect("winning shard has a runnable processor");
+        Some(self.shard_start[s] as usize + local)
+    }
+}
+
+/// The system's scheduler: one flat tree (serial core) or the two-level
+/// sharded tournament. Both produce the identical `(cycle, id)` order.
+#[derive(Debug, Clone)]
+pub enum Scheduler {
+    Single(MinTree),
+    Sharded(ShardedSched),
+}
+
+impl Scheduler {
+    pub fn single(n: usize) -> Self {
+        Scheduler::Single(MinTree::new(n))
+    }
+
+    pub fn sharded(layout: ShardLayout) -> Self {
+        Scheduler::Sharded(ShardedSched::new(layout))
+    }
+
+    #[inline]
+    pub fn key(&self, p: usize) -> u64 {
+        match self {
+            Scheduler::Single(t) => t.key(p),
+            Scheduler::Sharded(s) => s.key(p),
+        }
+    }
+
+    #[inline]
+    pub fn set_key(&mut self, p: usize, key: u64) {
+        match self {
+            Scheduler::Single(t) => t.set_key(p, key),
+            Scheduler::Sharded(s) => s.set_key(p, key),
+        }
+    }
+
+    #[inline]
+    pub fn min(&self) -> Option<usize> {
+        match self {
+            Scheduler::Single(t) => t.min(),
+            Scheduler::Sharded(s) => s.min(),
+        }
+    }
+
+    pub fn runnable(&self) -> usize {
+        match self {
+            Scheduler::Single(t) => t.runnable(),
+            Scheduler::Sharded(s) => s.runnable(),
+        }
+    }
+
+    /// The layout when sharded.
+    pub fn layout(&self) -> Option<&ShardLayout> {
+        match self {
+            Scheduler::Single(_) => None,
+            Scheduler::Sharded(s) => Some(s.layout()),
+        }
+    }
+
+    /// The shard of processor `p` (0 on the serial core). O(1).
+    #[inline]
+    pub fn shard_id(&self, p: usize) -> usize {
+        match self {
+            Scheduler::Single(_) => 0,
+            Scheduler::Sharded(s) => s.shard_id(p),
+        }
+    }
+}
+
+/// One executed (horizon-gated) event, as seen by the window tracker.
+/// Recorded only when event logging is enabled (tests); the counters are
+/// always live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowEvent {
+    /// Index of the window the event executed in.
+    pub window: u64,
+    /// The shard of the executing processor.
+    pub shard: usize,
+    /// The processor's cycle at pick time (its scheduler key).
+    pub cycle: u64,
+    /// The window base (global frontier when the window opened).
+    pub base: u64,
+    /// The window horizon (`base + lookahead`).
+    pub horizon: u64,
+}
+
+/// Aggregate counters of the windowed run (telemetry + scale artefact).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowCounters {
+    /// Windows closed over the run.
+    pub windows: u64,
+    /// Conservative lookahead in cycles.
+    pub lookahead: u64,
+    /// Shard-windows in which a shard executed nothing while the window
+    /// advanced — the shard sat at the conservative barrier (load skew /
+    /// stall measure).
+    pub barrier_stalls: u64,
+    /// Horizon-gated events executed (compute batches exempt).
+    pub gated_events: u64,
+}
+
+/// Tracks conservative windows over the run: opens a window at the global
+/// frontier, gates horizon crossings, and accounts per-shard stalls.
+#[derive(Debug)]
+pub struct WindowTracker {
+    lookahead: u64,
+    base: u64,
+    horizon: u64,
+    counters: WindowCounters,
+    /// Events executed per shard within the current window.
+    executed_in_window: Vec<u64>,
+    /// Optional per-event log for the property suite.
+    log: Option<Vec<WindowEvent>>,
+}
+
+impl WindowTracker {
+    pub fn new(lookahead: u64, n_shards: usize) -> Self {
+        assert!(lookahead >= 1, "lookahead must be at least one cycle");
+        Self {
+            lookahead,
+            base: 0,
+            horizon: lookahead,
+            counters: WindowCounters { lookahead, ..Default::default() },
+            executed_in_window: vec![0; n_shards],
+            log: None,
+        }
+    }
+
+    /// Record every gated event (memory-heavy; tests only).
+    pub fn enable_event_log(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    pub fn counters(&self) -> WindowCounters {
+        self.counters
+    }
+
+    pub fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    pub fn events(&self) -> Option<&[WindowEvent]> {
+        self.log.as_deref()
+    }
+
+    /// The next pick sits at `cycle`: close windows until the horizon
+    /// covers it. Returns true when one or more windows closed (the caller
+    /// then lets staged work drain).
+    #[inline]
+    pub fn advance_to(&mut self, cycle: u64) -> bool {
+        if cycle < self.horizon {
+            return false;
+        }
+        self.close_window(cycle);
+        true
+    }
+
+    #[cold]
+    fn close_window(&mut self, cycle: u64) {
+        self.counters.windows += 1;
+        for e in &mut self.executed_in_window {
+            self.counters.barrier_stalls += u64::from(*e == 0);
+            *e = 0;
+        }
+        // Re-open at the stalled frontier: the new base is the pick that
+        // crossed the horizon (the global minimum — every other processor
+        // sits at or above it).
+        self.base = cycle;
+        self.horizon = cycle.saturating_add(self.lookahead);
+    }
+
+    /// Account a horizon-gated event executing on `shard` at `cycle`
+    /// (must be called after [`WindowTracker::advance_to`]).
+    #[inline]
+    pub fn record_event(&mut self, shard: usize, cycle: u64) {
+        debug_assert!(cycle < self.horizon);
+        self.counters.gated_events += 1;
+        self.executed_in_window[shard] += 1;
+        if let Some(log) = &mut self.log {
+            log.push(WindowEvent {
+                window: self.counters.windows,
+                shard,
+                cycle,
+                base: self.base,
+                horizon: self.horizon,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::topology::TopologyKind;
+    use crate::util::splitmix64;
+
+    /// The paper's Table I network parameters with a chosen layout.
+    fn net_cfg(kind: TopologyKind) -> crate::config::NetworkConfig {
+        let mut cfg = SystemConfig::with_interval_base(16, 16_000).network;
+        cfg.topology = kind;
+        cfg
+    }
+
+    #[test]
+    fn contiguous_layout_covers_all_nodes() {
+        for n in [1usize, 2, 5, 16, 64, 128] {
+            for shards in [1usize, 2, 3, 4, 7, 64, 200] {
+                let l = ShardLayout::contiguous(n, shards);
+                assert_eq!(l.n_shards(), shards.clamp(1, n));
+                let mut covered = 0;
+                for s in 0..l.n_shards() {
+                    let r = l.procs(s);
+                    assert_eq!(r.start, covered, "shards must be contiguous");
+                    assert!(!r.is_empty(), "no empty shards");
+                    for p in r.clone() {
+                        assert_eq!(l.shard_of(p), s);
+                    }
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+                // Balanced within one node.
+                let sizes: Vec<usize> = (0..l.n_shards()).map(|s| l.procs(s).len()).collect();
+                let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(mx - mn <= 1, "n = {n}, shards = {shards}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sched_matches_flat_tree_order() {
+        let mut seed = 0x5eed_cafeu64;
+        let mut rng = move || {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            splitmix64(seed)
+        };
+        for n in [1usize, 2, 7, 16, 64] {
+            for shards in [1usize, 2, 3, 4, n] {
+                let mut flat = MinTree::new(n);
+                let mut sharded = ShardedSched::new(ShardLayout::contiguous(n, shards));
+                for step in 0..3000 {
+                    let p = (rng() % n as u64) as usize;
+                    // Small range for frequent ties, sometimes park.
+                    let key = match rng() % 8 {
+                        0 => u64::MAX,
+                        _ => rng() % 16,
+                    };
+                    flat.set_key(p, key);
+                    sharded.set_key(p, key);
+                    assert_eq!(
+                        sharded.min(),
+                        flat.min(),
+                        "n = {n}, shards = {shards}, step = {step}"
+                    );
+                    assert_eq!(sharded.key(p), flat.key(p));
+                }
+                assert_eq!(sharded.runnable(), flat.runnable());
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_shard_latency() {
+        for kind in TopologyKind::ALL {
+            let n = 16;
+            if !kind.supports(n) {
+                continue;
+            }
+            let net = Network::new(net_cfg(kind), n);
+            for shards in [2usize, 4, 8, 16] {
+                let layout = ShardLayout::contiguous(n, shards);
+                let la = cross_shard_lookahead(&net, &layout);
+                // Brute-force reference.
+                let mut min = u64::MAX;
+                for a in 0..n {
+                    for b in 0..n {
+                        if layout.shard_of(a) != layout.shard_of(b) {
+                            min = min.min(net.latency(a, b, false));
+                        }
+                    }
+                }
+                assert_eq!(la, min.max(1), "{kind:?} shards = {shards}");
+                assert!(la >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_lookahead_falls_back_to_diameter() {
+        let net = Network::new(net_cfg(TopologyKind::Hypercube), 8);
+        let layout = ShardLayout::contiguous(8, 1);
+        assert_eq!(cross_shard_lookahead(&net, &layout), net.max_one_way(false).max(1));
+    }
+
+    #[test]
+    fn window_tracker_counts_windows_and_stalls() {
+        let mut w = WindowTracker::new(10, 2);
+        w.enable_event_log();
+        assert!(!w.advance_to(0));
+        w.record_event(0, 0);
+        assert!(!w.advance_to(9));
+        w.record_event(0, 9);
+        // Crossing the horizon closes the window; shard 1 never ran.
+        assert!(w.advance_to(10));
+        w.record_event(1, 10);
+        assert!(w.advance_to(35)); // far jump still one close
+        w.record_event(1, 35);
+        let c = w.counters();
+        assert_eq!(c.windows, 2);
+        assert_eq!(c.gated_events, 4);
+        assert_eq!(c.barrier_stalls, 2, "shard 1 idle in w0, shard 0 idle in w1");
+        let events = w.events().unwrap();
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert!(e.cycle >= e.base && e.cycle < e.horizon, "{e:?}");
+        }
+    }
+}

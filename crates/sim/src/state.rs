@@ -107,7 +107,9 @@ pub struct LockSnap {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BarrierSnap {
     pub current_id: Option<u32>,
-    pub arrived_mask: u64,
+    /// Arrival bitmap, 64 processors per word (`⌈n/64⌉` words) — a single
+    /// u64 would cap the machine at 64 nodes.
+    pub arrived: Vec<u64>,
     pub arrival_cycle: Vec<u64>,
 }
 

@@ -18,7 +18,7 @@ use crate::memctrl::MemCtrl;
 use crate::network::Network;
 use crate::observer::{IntervalStats, SimObserver};
 use crate::processor::Processor;
-use crate::sched::MinTree;
+use crate::shard::{cross_shard_lookahead, ShardLayout, Scheduler, WindowCounters, WindowEvent, WindowTracker};
 use crate::state::{BarrierSnap, LockSnap, SystemState};
 use crate::stats::SystemStats;
 use crate::telem::{SimProbes, SimTelemetry, Snapshot};
@@ -33,8 +33,38 @@ struct LockState {
 #[derive(Debug)]
 struct BarrierState {
     current_id: Option<u32>,
-    arrived_mask: u64,
+    /// Arrival bitmap, 64 processors per word — works at any node count
+    /// (a single u64 capped the machine at 64).
+    arrived: Vec<u64>,
+    arrived_count: usize,
     arrival_cycle: Vec<u64>,
+}
+
+impl BarrierState {
+    fn new(n: usize) -> Self {
+        Self {
+            current_id: None,
+            arrived: vec![0; n.div_ceil(64)],
+            arrived_count: 0,
+            arrival_cycle: vec![0; n],
+        }
+    }
+
+    #[inline]
+    fn has_arrived(&self, p: usize) -> bool {
+        self.arrived[p / 64] & (1u64 << (p % 64)) != 0
+    }
+
+    #[inline]
+    fn mark_arrived(&mut self, p: usize) {
+        self.arrived[p / 64] |= 1u64 << (p % 64);
+        self.arrived_count += 1;
+    }
+
+    fn reset_arrivals(&mut self) {
+        self.arrived.iter_mut().for_each(|w| *w = 0);
+        self.arrived_count = 0;
+    }
 }
 
 /// The simulated DSM multiprocessor.
@@ -54,8 +84,12 @@ pub struct System<S: InstructionStream, O: SimObserver> {
     observer: O,
     events_executed: u64,
     /// Indexed scheduler: one key per processor, equal to its cycle while
-    /// runnable and `u64::MAX` while finished or blocked.
-    sched: MinTree,
+    /// runnable and `u64::MAX` while finished or blocked. A flat tree by
+    /// default; the two-level sharded tournament (identical pick order)
+    /// after [`System::enable_sharding`].
+    sched: Scheduler,
+    /// Conservative time-window tracker, present iff sharding is enabled.
+    windows: Option<WindowTracker>,
     /// One fetched-but-not-yet-executed event per processor. The batched
     /// run loop parks an event here when it must execute at the processor's
     /// canonical position in the global `(cycle, id)` order rather than
@@ -95,15 +129,12 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                 cfg.lock_capacity_hint(),
                 Default::default(),
             ),
-            barrier: BarrierState {
-                current_id: None,
-                arrived_mask: 0,
-                arrival_cycle: vec![0; n],
-            },
+            barrier: BarrierState::new(n),
             stream,
             observer,
             events_executed: 0,
-            sched: MinTree::new(n),
+            sched: Scheduler::single(n),
+            windows: None,
             pending: vec![None; n],
             fetched: vec![0; n],
             telem,
@@ -114,6 +145,62 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
 
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Partition the machine into `shards` contiguous shards: the event
+    /// loop switches to the two-level tournament scheduler (identical
+    /// `(cycle, id)` pick order — execution stays bit-identical to the
+    /// serial core) and advances under conservative time windows whose
+    /// lookahead is the minimum cross-shard delivery latency of the routed
+    /// fabric. Window boundaries are reported to the observer via
+    /// [`SimObserver::on_window_close`] — the drain points for staged
+    /// cross-shard work. Callable at any point (checkpoint restore included);
+    /// scheduler keys are rebuilt from processor state.
+    pub fn enable_sharding(&mut self, shards: usize) {
+        let layout = ShardLayout::contiguous(self.cfg.n_procs, shards);
+        let lookahead = cross_shard_lookahead(&self.net, &layout);
+        self.windows = Some(WindowTracker::new(lookahead, layout.n_shards()));
+        self.sched = Scheduler::sharded(layout);
+        for p in 0..self.cfg.n_procs {
+            self.refresh_key(p);
+        }
+    }
+
+    /// Record every horizon-gated event (property tests; memory-heavy).
+    pub fn enable_window_log(&mut self) {
+        self.windows
+            .as_mut()
+            .expect("enable sharding before window logging")
+            .enable_event_log();
+    }
+
+    /// Counters of the conservative-window run (zeroes when not sharded).
+    pub fn window_counters(&self) -> WindowCounters {
+        self.windows.as_ref().map(|w| w.counters()).unwrap_or_default()
+    }
+
+    /// The shard layout in force, if sharding is enabled.
+    pub fn shard_layout(&self) -> Option<&ShardLayout> {
+        self.sched.layout()
+    }
+
+    /// The per-event window log (requires [`System::enable_window_log`]).
+    pub fn window_events(&self) -> Option<&[WindowEvent]> {
+        self.windows.as_ref().and_then(|w| w.events())
+    }
+
+    /// Gate the pick of processor `p` (scheduler key `key`) through the
+    /// conservative window: close windows the pick crosses (notifying the
+    /// observer — its cue to drain staged work) and account the event to
+    /// `p`'s shard. No-op on the serial core.
+    #[inline]
+    fn window_gate(&mut self, p: usize, key: u64) {
+        if let Some(w) = &mut self.windows {
+            if w.advance_to(key) {
+                self.observer.on_window_close(w.counters().windows, w.horizon());
+            }
+            w.record_event(self.sched.shard_id(p), key);
+        }
     }
 
     pub fn observer(&self) -> &O {
@@ -178,6 +265,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         let Some(p) = self.sched.min() else {
             return self.handle_no_runnable();
         };
+        self.window_gate(p, self.sched.key(p));
         let ev = match self.pending[p].take() {
             Some(ev) => ev,
             None => {
@@ -198,6 +286,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             return self.handle_no_runnable();
         };
         if let Some(ev) = self.pending[p].take() {
+            self.window_gate(p, self.sched.key(p));
             self.events_executed += 1;
             self.dispatch(p, ev);
             self.refresh_key(p);
@@ -249,6 +338,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         if batched > 0 {
             self.pending[p] = Some(tail);
         } else {
+            self.window_gate(p, self.sched.key(p));
             self.events_executed += 1;
             self.dispatch(p, tail);
         }
@@ -500,22 +590,16 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                 "barrier mismatch: processor {p} arrived at {id}, expected {cur}"
             ),
         }
-        assert_eq!(
-            self.barrier.arrived_mask & (1 << p),
-            0,
+        assert!(
+            !self.barrier.has_arrived(p),
             "processor {p} arrived twice at barrier {id}"
         );
-        self.barrier.arrived_mask |= 1 << p;
+        self.barrier.mark_arrived(p);
         self.barrier.arrival_cycle[p] = self.procs[p].cycle;
         self.procs[p].blocked = true;
         self.procs[p].blocked_since = self.procs[p].cycle;
 
-        let all = if self.cfg.n_procs == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.cfg.n_procs) - 1
-        };
-        if self.barrier.arrived_mask == all {
+        if self.barrier.arrived_count == self.cfg.n_procs {
             // Release: slowest arrival plus a reduce + broadcast spanning
             // the network diameter (== the hypercube dimension for the
             // default layout).
@@ -531,7 +615,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                 self.refresh_key(q);
             }
             self.barrier.current_id = None;
-            self.barrier.arrived_mask = 0;
+            self.barrier.reset_arrivals();
         }
     }
 
@@ -603,6 +687,16 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         if let Some(reg) = self.telem.registry_mut() {
             reg.counter_add("sim/events_executed", self.events_executed);
             reg.counter_add("sim/sched/runnable_at_finish", self.sched.runnable() as u64);
+            if let Some(w) = &self.windows {
+                let c = w.counters();
+                reg.counter_add("sim/shard/windows", c.windows);
+                reg.counter_add("sim/shard/barrier_stalls", c.barrier_stalls);
+                reg.counter_add("sim/shard/gated_events", c.gated_events);
+                reg.counter_add("sim/shard/lookahead_cycles", c.lookahead);
+                if let Some(l) = self.sched.layout() {
+                    reg.counter_add("sim/shard/shards", l.n_shards() as u64);
+                }
+            }
             stats.publish(reg);
             self.net.publish_links("sim/network", reg);
         }
@@ -675,7 +769,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             locks,
             barrier: BarrierSnap {
                 current_id: self.barrier.current_id,
-                arrived_mask: self.barrier.arrived_mask,
+                arrived: self.barrier.arrived.clone(),
                 arrival_cycle: self.barrier.arrival_cycle.clone(),
             },
             fault: self.fault.export_state(),
@@ -710,7 +804,9 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             );
         }
         self.barrier.current_id = st.barrier.current_id;
-        self.barrier.arrived_mask = st.barrier.arrived_mask;
+        self.barrier.arrived.copy_from_slice(&st.barrier.arrived);
+        self.barrier.arrived_count =
+            st.barrier.arrived.iter().map(|w| w.count_ones() as usize).sum();
         self.barrier.arrival_cycle.copy_from_slice(&st.barrier.arrival_cycle);
         self.fault.import_state(&st.fault);
         self.pending.copy_from_slice(&st.pending);

@@ -1,0 +1,166 @@
+//! Property test for the conservative time-window barrier of the sharded
+//! core (ISSUE 7): on *every* topology layout, no horizon-gated event may
+//! execute at or past its window's horizon, and the horizon must cover the
+//! earliest possible cross-shard dependency — the window lookahead can
+//! never exceed the minimum uncontended cross-shard delivery latency of
+//! the routed fabric. A message sent by another shard inside the current
+//! window therefore cannot arrive before the window closes, which is what
+//! makes deferring cross-shard observer work to the boundary safe.
+
+use proptest::prelude::*;
+
+use dsm_sim::addr::explicit_addr;
+use dsm_sim::config::SystemConfig;
+use dsm_sim::event::{Event, InstructionStream};
+use dsm_sim::network::Network;
+use dsm_sim::observer::NullObserver;
+use dsm_sim::shard::{cross_shard_lookahead, ShardLayout};
+use dsm_sim::system::System;
+use dsm_sim::topology::TopologyKind;
+
+struct Script {
+    events: Vec<Vec<Event>>,
+    pos: Vec<usize>,
+}
+
+impl InstructionStream for Script {
+    fn n_procs(&self) -> usize {
+        self.events.len()
+    }
+    fn next(&mut self, proc: usize) -> Event {
+        let i = self.pos[proc];
+        if i < self.events[proc].len() {
+            self.pos[proc] += 1;
+            self.events[proc][i]
+        } else {
+            Event::End
+        }
+    }
+}
+
+/// Mixed compute/memory/sync streams: enough cross-node traffic that the
+/// run closes many windows and exercises every gate path.
+fn build_streams(p: usize, seed: u64) -> Vec<Vec<Event>> {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..p)
+        .map(|q| {
+            let mut evs = Vec::new();
+            for i in 0..40 {
+                evs.push(Event::Block {
+                    bb: (i % 7) as u32,
+                    insns: (rng() % 900 + 50) as u32,
+                    taken: rng() % 2 == 0,
+                });
+                // Remote-leaning traffic so deliveries cross shards.
+                let home = (q + 1 + rng() as usize % p.max(2)) % p;
+                evs.push(Event::Mem {
+                    addr: explicit_addr(home, (rng() % 64) * 32),
+                    write: rng() % 3 == 0,
+                });
+                if i % 13 == 5 {
+                    evs.push(Event::Acquire { lock: 1 });
+                    evs.push(Event::Block { bb: 99, insns: 5, taken: false });
+                    evs.push(Event::Release { lock: 1 });
+                }
+            }
+            evs.push(Event::Barrier { id: 0 });
+            evs.push(Event::Block { bb: 3, insns: 200, taken: true });
+            evs
+        })
+        .collect()
+}
+
+/// Brute-force reference for the lookahead bound: the smallest
+/// uncontended one-way delivery latency between any two nodes in
+/// different shards.
+fn min_cross_shard_latency(net: &Network, layout: &ShardLayout) -> u64 {
+    let mut min = u64::MAX;
+    for a in 0..layout.n_nodes() {
+        for b in 0..layout.n_nodes() {
+            if layout.shard_of(a) != layout.shard_of(b) {
+                min = min.min(net.latency(a, b, false));
+            }
+        }
+    }
+    min
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every topology layout and shard count: every gated event lands
+    /// strictly inside its window, the horizon sits exactly one lookahead
+    /// past the base, the lookahead never exceeds the fabric's minimum
+    /// cross-shard delivery latency, and windows only move forward.
+    #[test]
+    fn no_event_executes_past_the_conservative_horizon(
+        logp in 2u32..4,
+        shards_sel in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let p = 1usize << logp;
+        let shards = [2, 4, p][shards_sel].min(p);
+        for kind in TopologyKind::ALL {
+            let mut cfg = SystemConfig::with_interval_base(p, 16_000);
+            cfg.network.topology = kind;
+            let net = Network::new(cfg.network, p);
+            let layout = ShardLayout::contiguous(p, shards);
+            let lookahead = cross_shard_lookahead(&net, &layout);
+
+            // The conservative bound itself: lookahead never exceeds the
+            // earliest possible cross-shard delivery.
+            let brute = min_cross_shard_latency(&net, &layout);
+            prop_assert!(brute >= 1, "{kind:?}: fabric delivery must cost at least a cycle");
+            prop_assert_eq!(
+                lookahead, brute,
+                "{:?}: lookahead must equal the min cross-shard latency", kind
+            );
+
+            let events = build_streams(p, seed);
+            let mut sys = System::new(cfg, Script { events, pos: vec![0; p] }, NullObserver);
+            sys.enable_sharding(shards);
+            sys.enable_window_log();
+            sys.run_to_interval(u64::MAX);
+            let counters = sys.window_counters();
+            prop_assert_eq!(counters.lookahead, lookahead);
+            let log = sys.window_events().expect("window log enabled").to_vec();
+            prop_assert!(!log.is_empty(), "{kind:?}: gated events must be recorded");
+            prop_assert_eq!(counters.gated_events, log.len() as u64);
+
+            let mut prev: Option<dsm_sim::shard::WindowEvent> = None;
+            for e in &log {
+                prop_assert!(e.shard < layout.n_shards());
+                prop_assert!(
+                    e.base <= e.cycle && e.cycle < e.horizon,
+                    "{:?}: event at cycle {} escaped window [{}, {})",
+                    kind, e.cycle, e.base, e.horizon
+                );
+                prop_assert_eq!(e.horizon, e.base.saturating_add(lookahead));
+                if let Some(pr) = prev {
+                    prop_assert!(e.window >= pr.window, "{kind:?}: window index went backwards");
+                    if e.window == pr.window {
+                        prop_assert_eq!(e.base, pr.base);
+                        // Global (cycle, id) order means cycles never
+                        // regress inside a window either.
+                        prop_assert!(e.cycle >= pr.cycle);
+                    } else {
+                        // A window closes only when a pick crosses the
+                        // horizon; the new base is that pick.
+                        prop_assert!(
+                            e.base >= pr.horizon,
+                            "{:?}: window {} reopened before the previous horizon",
+                            kind, e.window
+                        );
+                    }
+                }
+                prev = Some(*e);
+            }
+            let (stats, _) = sys.run_to_end();
+            prop_assert!(stats.total_insns() > 0);
+        }
+    }
+}

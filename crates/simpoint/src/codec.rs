@@ -1,4 +1,4 @@
-//! Versioned, deterministic binary checkpoint codec (`DSMCKPT2`).
+//! Versioned, deterministic binary checkpoint codec (`DSMCKPT3`).
 //!
 //! A checkpoint is the pair (simulator state, detector-collector state) at a
 //! global interval boundary, plus the metadata needed to rebuild the machine
@@ -28,8 +28,12 @@ use dsm_workloads::{App, Scale};
 
 /// Magic prefix: format name plus version digit. Version 2 added the
 /// route-aware fabric: the topology + link-contention flag in the metadata
-/// and the per-link flit counters in the network section.
-pub const MAGIC: &[u8; 8] = b"DSMCKPT2";
+/// and the per-link flit counters in the network section. Version 3 scales
+/// past 64 nodes: the barrier arrival bitmap became multi-word, the DDV
+/// snapshot carries the O(n) aggregate-gather state (`G`, `S`, round
+/// counter), and the metadata records the shard count the run was captured
+/// under (0 = serial core).
+pub const MAGIC: &[u8; 8] = b"DSMCKPT3";
 
 /// The version-independent format prefix shared by every `DSMCKPT` version.
 const MAGIC_FAMILY: &[u8; 7] = b"DSMCKPT";
@@ -41,7 +45,8 @@ pub enum CkptError {
     /// The buffer does not start with [`MAGIC`].
     BadMagic,
     /// A `DSMCKPT` checkpoint of a different version (e.g. a pre-fabric
-    /// `DSMCKPT1` file); re-capture the checkpoint with this build.
+    /// `DSMCKPT1` or a pre-sharding `DSMCKPT2` file); re-capture the
+    /// checkpoint with this build.
     UnsupportedVersion { version: u8 },
     /// The buffer ended before the structure it claims to hold.
     Truncated,
@@ -57,7 +62,7 @@ pub enum CkptError {
 impl std::fmt::Display for CkptError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CkptError::BadMagic => write!(f, "not a DSMCKPT2 checkpoint (bad magic)"),
+            CkptError::BadMagic => write!(f, "not a DSMCKPT3 checkpoint (bad magic)"),
             CkptError::UnsupportedVersion { version } => {
                 write!(f, "unsupported DSMCKPT version {:?}", *version as char)
             }
@@ -90,6 +95,11 @@ pub struct CheckpointMeta {
     pub plan: FaultPlan,
     pub geometry: DetectorGeometry,
     pub interval_index: u64,
+    /// Shard count the capturing run executed under (0 = serial core).
+    /// Informational for resume: sharded execution is bit-identical to
+    /// serial at any shard count, so a resume may pick any sharding — this
+    /// records what produced the snapshot.
+    pub shards: usize,
 }
 
 /// A complete checkpoint: metadata, simulator state, collector state.
@@ -440,7 +450,7 @@ fn put_system(w: &mut W, s: &SystemState) {
         w.vec_u64(&l.waiters.iter().map(|&x| x as u64).collect::<Vec<_>>());
     }
     w.opt_u64(s.barrier.current_id.map(|i| i as u64));
-    w.u64(s.barrier.arrived_mask);
+    w.vec_u64(&s.barrier.arrived);
     w.vec_u64(&s.barrier.arrival_cycle);
     w.u64(s.fault.draws);
     let f = &s.fault.stats;
@@ -551,7 +561,7 @@ fn get_system(r: &mut R) -> D<SystemState> {
                 Some(u32::try_from(i).map_err(|_| CkptError::BadValue { what: "barrier id" })?)
             }
         },
-        arrived_mask: r.u64()?,
+        arrived: r.vec_u64()?,
         arrival_cycle: r.vec_u64()?,
     };
     let fault = FaultSnap {
@@ -597,6 +607,7 @@ fn get_system(r: &mut R) -> D<SystemState> {
         || st.pending.len() != n
         || st.fetched.len() != n
         || st.barrier.arrival_cycle.len() != n
+        || st.barrier.arrived.len() != n.div_ceil(64)
         || st.memctrls.len() != n
     {
         return Err(CkptError::BadValue { what: "per-processor vector lengths" });
@@ -647,8 +658,11 @@ fn put_collector(w: &mut W, c: &CollectorState) {
         w.vec_u64(&m.cum);
         w.vec_u64(&m.snap);
     }
+    w.vec_u64(&c.ddv.gcum);
+    w.vec_u64(&c.ddv.gsnap);
     w.u64(c.ddv.queries);
     w.u64(c.ddv.vectors_exchanged);
+    w.u64(c.ddv.gather_rounds);
     w.u64(c.records.len() as u64);
     for recs in &c.records {
         w.u64(recs.len() as u64);
@@ -668,7 +682,14 @@ fn get_collector(r: &mut R, n_procs: usize) -> D<CollectorState> {
     let mats = (0..n_mats)
         .map(|_| Ok(FrequencySnap { cum: r.vec_u64()?, snap: r.vec_u64()? }))
         .collect::<D<Vec<_>>>()?;
-    let ddv = DdvSnap { mats, queries: r.u64()?, vectors_exchanged: r.u64()? };
+    let ddv = DdvSnap {
+        mats,
+        gcum: r.vec_u64()?,
+        gsnap: r.vec_u64()?,
+        queries: r.u64()?,
+        vectors_exchanged: r.u64()?,
+        gather_rounds: r.u64()?,
+    };
     let n_rec = r.len(8)?;
     let records = (0..n_rec)
         .map(|_| {
@@ -682,6 +703,8 @@ fn get_collector(r: &mut R, n_procs: usize) -> D<CollectorState> {
         || c.branches.len() != n_procs
         || c.ddv.mats.len() != n_procs
         || c.records.len() != n_procs
+        || c.ddv.gcum.len() != n_procs
+        || c.ddv.gsnap.len() != n_procs * n_procs
         || c.ddv.mats.iter().any(|m| m.cum.len() != n_procs || m.snap.len() != n_procs * n_procs)
     {
         return Err(CkptError::BadValue { what: "collector sized for a different machine" });
@@ -690,7 +713,7 @@ fn get_collector(r: &mut R, n_procs: usize) -> D<CollectorState> {
 }
 
 impl Checkpoint {
-    /// Serialize to the `DSMCKPT1` byte format. Deterministic: the same
+    /// Serialize to the `DSMCKPT3` byte format. Deterministic: the same
     /// checkpoint always encodes to the same bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = W { out: Vec::with_capacity(4096) };
@@ -725,12 +748,13 @@ impl Checkpoint {
         w.u64(m.geometry.footprint_vectors as u64);
         w.u64(m.geometry.ws_bits as u64);
         w.u64(m.interval_index);
+        w.u64(m.shards as u64);
         put_system(&mut w, &self.system);
         put_collector(&mut w, &self.collector);
         w.out
     }
 
-    /// Decode a `DSMCKPT1` buffer. Total: any input yields `Ok` or a typed
+    /// Decode a `DSMCKPT3` buffer. Total: any input yields `Ok` or a typed
     /// [`CkptError`]; never panics, never over-allocates on hostile lengths.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
         if bytes.len() < MAGIC.len() || &bytes[..MAGIC_FAMILY.len()] != MAGIC_FAMILY {
@@ -746,7 +770,7 @@ impl Checkpoint {
             .get(app_tag as usize)
             .ok_or(CkptError::BadTag { what: "app", tag: app_tag as u64 })?;
         let n_procs = r.usize_checked("n_procs")?;
-        if n_procs == 0 || n_procs > 64 {
+        if n_procs == 0 || n_procs > 4096 {
             return Err(CkptError::BadValue { what: "n_procs" });
         }
         let scale = match r.u8()? {
@@ -782,6 +806,10 @@ impl Checkpoint {
             ws_bits: r.usize_checked("ws_bits")?,
         };
         let interval_index = r.u64()?;
+        let shards = r.usize_checked("shards")?;
+        if shards > n_procs {
+            return Err(CkptError::BadValue { what: "shards" });
+        }
         let system = get_system(&mut r)?;
         if system.procs.len() != n_procs {
             return Err(CkptError::BadValue { what: "system sized for a different machine" });
@@ -801,6 +829,7 @@ impl Checkpoint {
                 plan,
                 geometry,
                 interval_index,
+                shards,
             },
             system,
             collector,
@@ -853,6 +882,7 @@ mod tests {
                 plan: FaultPlan::mixed(7, 0.01),
                 geometry: DetectorGeometry::default(),
                 interval_index: 7,
+                shards: 0,
             },
             system: SystemState {
                 procs: vec![proc(0), proc(1)],
@@ -877,7 +907,7 @@ mod tests {
                 locks: vec![LockSnap { id: 0, owner: Some(1), waiters: vec![0] }],
                 barrier: BarrierSnap {
                     current_id: Some(3),
-                    arrived_mask: 0b10,
+                    arrived: vec![0b10],
                     arrival_cycle: vec![0, 998],
                 },
                 fault: FaultSnap {
@@ -897,8 +927,11 @@ mod tests {
                         FrequencySnap { cum: vec![4, 1], snap: vec![0, 0, 4, 1] },
                         FrequencySnap { cum: vec![2, 2], snap: vec![1, 1, 0, 0] },
                     ],
+                    gcum: vec![6, 3],
+                    gsnap: vec![1, 1, 4, 1],
                     queries: 14,
                     vectors_exchanged: 14,
+                    gather_rounds: 14,
                 },
                 records: vec![
                     vec![IntervalRecord {
@@ -944,6 +977,7 @@ mod tests {
         for (payload, version) in [
             (&b"DSMCKPT1"[..], b'1'),
             (b"DSMCKPT1\x00\x01\x02\x03", b'1'),
+            (b"DSMCKPT2\x00\x01\x02\x03", b'2'),
             (b"DSMCKPT9garbage", b'9'),
         ] {
             assert_eq!(

@@ -1,4 +1,4 @@
-//! Property tests for the `DSMCKPT2` checkpoint codec: decoding is *total*
+//! Property tests for the `DSMCKPT3` checkpoint codec: decoding is *total*
 //! (any input — random bytes, corrupted checkpoints, truncations — yields a
 //! typed error or a valid checkpoint, never a panic), and the encoding is
 //! canonical (whatever decodes re-encodes to the identical bytes).
@@ -119,6 +119,7 @@ fn synth(seed: u64, n_procs: usize, n_recs: usize) -> Checkpoint {
             plan: if g.u().is_multiple_of(2) { FaultPlan::none() } else { FaultPlan::mixed(g.u(), 0.01) },
             geometry: DetectorGeometry::default(),
             interval_index: g.u() % 64,
+            shards: (g.u() % (n_procs as u64 + 1)) as usize,
         },
         system: SystemState {
             procs,
@@ -171,7 +172,17 @@ fn synth(seed: u64, n_procs: usize, n_recs: usize) -> Checkpoint {
                 .collect(),
             barrier: BarrierSnap {
                 current_id: if g.u().is_multiple_of(2) { None } else { Some((g.u() % 8) as u32) },
-                arrived_mask: g.u() % (1 << n_procs),
+                arrived: {
+                    let mut words = vec![0u64; n_procs.div_ceil(64)];
+                    for w in &mut words {
+                        *w = g.u();
+                    }
+                    let tail = n_procs % 64;
+                    if tail != 0 {
+                        *words.last_mut().unwrap() %= 1 << tail;
+                    }
+                    words
+                },
                 arrival_cycle: g.vec(n_procs),
             },
             fault: FaultSnap {
@@ -193,8 +204,11 @@ fn synth(seed: u64, n_procs: usize, n_recs: usize) -> Checkpoint {
                         snap: g.vec(n_procs * n_procs),
                     })
                     .collect(),
+                gcum: g.vec(n_procs),
+                gsnap: g.vec(n_procs * n_procs),
                 queries: g.u(),
                 vectors_exchanged: g.u(),
+                gather_rounds: g.u(),
             },
             records,
         },

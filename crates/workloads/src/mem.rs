@@ -119,6 +119,7 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)]
     fn out_of_region_access_panics_in_debug() {
         let mut a = NodeAlloc::new(2);
         let r = a.alloc(0, 32);
