@@ -1,0 +1,241 @@
+//! `bench_serve` — records and checks the phase-server perf baseline.
+//!
+//! Modes (mirroring `bench_sim`):
+//!
+//! * (default) measure the current tree and rewrite `BENCH_SERVE.json` at
+//!   the repo root, preserving the recorded `baseline` section (first run
+//!   uses the fresh measurement as the baseline too);
+//! * `--reset-baseline` — overwrite the `baseline` section as well;
+//! * `--check [path]` — parse the file and verify schema + full serve
+//!   matrix coverage, without measuring anything (CI);
+//! * `--compare [path]` — measure the current tree and print speedups
+//!   against the file's `current` section (branch-vs-baseline workflow).
+//!
+//! Each matrix point is a `phased --smoke`-equivalent all-concurrent fleet
+//! (64 / 256 / 1024 tenants). Deterministic figures — tick-based latency
+//! percentiles, queue high-waters, backpressure counts — are asserted
+//! bit-identical across samples; wall-clock classifications/sec is the
+//! minimum-time sample, like `bench_sim`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dsm_bench::compare::speedups;
+use dsm_bench::servebench::{measure_serve, serve_point_key, serve_section_json, SERVE_TENANTS};
+use dsm_harness::json::{parse, Json};
+
+const SCHEMA: &str = "dsm-bench-serve/v1";
+const SAMPLES: usize = 7;
+
+fn default_path() -> PathBuf {
+    // crates/bench -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_SERVE.json")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path_arg = |i: usize| -> PathBuf {
+        args.get(i).map(PathBuf::from).unwrap_or_else(default_path)
+    };
+    match args.first().map(String::as_str) {
+        Some("--check") => check(&path_arg(1)),
+        Some("--compare") => compare(&path_arg(1)),
+        Some("--reset-baseline") => update(&path_arg(1), true),
+        None => update(&default_path(), false),
+        Some(other) => {
+            eprintln!("unknown mode {other}; use --check | --compare | --reset-baseline");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_json(path: &Path) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match parse(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("warning: existing {} is unparsable ({e}); ignoring", path.display());
+            None
+        }
+    }
+}
+
+fn update(path: &Path, reset_baseline: bool) -> ExitCode {
+    eprintln!(
+        "measuring phase-server throughput ({SAMPLES} samples per point, fleets of {SERVE_TENANTS:?} tenants)..."
+    );
+    let points = measure_serve(SAMPLES);
+    let current = serve_section_json(&points, "current");
+    let baseline = if reset_baseline {
+        None
+    } else {
+        read_json(path).and_then(|old| old.get("baseline").cloned())
+    };
+    let baseline = baseline.unwrap_or_else(|| {
+        eprintln!("no recorded baseline; using this measurement as the baseline");
+        serve_section_json(&points, "baseline")
+    });
+    let doc = Json::obj()
+        .field("schema", SCHEMA)
+        .field(
+            "matrix",
+            Json::Arr(
+                SERVE_TENANTS
+                    .iter()
+                    .map(|&t| Json::Str(serve_point_key(t)))
+                    .collect(),
+            ),
+        )
+        .field(
+            "speedup_classifications_per_sec",
+            speedups(&baseline, &current, "classifications_per_sec"),
+        )
+        .field("baseline", baseline)
+        .field("current", current);
+    if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    print_summary(&doc);
+    ExitCode::SUCCESS
+}
+
+fn print_summary(doc: &Json) {
+    if let Some(s) = doc.get("speedup_classifications_per_sec") {
+        println!("classifications/sec speedup vs baseline: {s}");
+    }
+    if let Some(points) = doc
+        .get("current")
+        .and_then(|c| c.get("points"))
+        .and_then(Json::as_arr)
+    {
+        for p in points {
+            if let (Some(t), Some(lt)) =
+                (p.get("tenants").and_then(Json::as_f64), p.get("latency_ticks"))
+            {
+                println!(
+                    "{t} tenants: latency ticks p50/p99/p999 = {}/{}/{}, queue hw {}",
+                    lt.get("p50").and_then(Json::as_f64).unwrap_or(-1.0),
+                    lt.get("p99").and_then(Json::as_f64).unwrap_or(-1.0),
+                    lt.get("p999").and_then(Json::as_f64).unwrap_or(-1.0),
+                    p.get("queue_high_water").and_then(Json::as_f64).unwrap_or(-1.0),
+                );
+            }
+        }
+    }
+}
+
+fn compare(path: &Path) -> ExitCode {
+    let Some(doc) = read_json(path) else {
+        eprintln!("cannot read {}", path.display());
+        return ExitCode::FAILURE;
+    };
+    let Some(recorded) = doc.get("current") else {
+        eprintln!("{} has no `current` section", path.display());
+        return ExitCode::FAILURE;
+    };
+    eprintln!("measuring current tree for comparison...");
+    let points = measure_serve(SAMPLES);
+    let now = serve_section_json(&points, "working-tree");
+    println!(
+        "speedup (working tree / recorded current): {}",
+        speedups(recorded, &now, "classifications_per_sec")
+    );
+    ExitCode::SUCCESS
+}
+
+/// Validate the checked-in file: schema tag, both sections, full serve
+/// matrix coverage, and per-point latency/queue figures in `current`.
+fn check(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: {} does not parse: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut errors: Vec<String> = Vec::new();
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        errors.push(format!("schema tag must be {SCHEMA:?}"));
+    }
+    for section in ["baseline", "current"] {
+        let Some(sec) = doc.get(section) else {
+            errors.push(format!("missing `{section}` section"));
+            continue;
+        };
+        for tenants in SERVE_TENANTS {
+            let key = serve_point_key(tenants);
+            let rate = sec.get("classifications_per_sec").and_then(|m| m.get(&key));
+            match rate.and_then(Json::as_f64) {
+                Some(v) if v > 0.0 => {}
+                _ => errors.push(format!(
+                    "`{section}.classifications_per_sec.{key}` missing or non-positive"
+                )),
+            }
+        }
+    }
+    match doc
+        .get("current")
+        .and_then(|c| c.get("points"))
+        .and_then(Json::as_arr)
+    {
+        Some(points) => {
+            for tenants in SERVE_TENANTS {
+                let Some(p) = points
+                    .iter()
+                    .find(|p| p.get("tenants").and_then(Json::as_f64) == Some(tenants as f64))
+                else {
+                    errors.push(format!("`current.points` missing the {tenants}-tenant point"));
+                    continue;
+                };
+                match p.get("classified").and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    _ => errors.push(format!(
+                        "`current.points` {tenants}-tenant point: `classified` missing or non-positive"
+                    )),
+                }
+                for key in ["queue_high_water", "busy_events", "output_stalls"] {
+                    if p.get(key).and_then(Json::as_f64).is_none() {
+                        errors.push(format!(
+                            "`current.points` {tenants}-tenant point: `{key}` missing"
+                        ));
+                    }
+                }
+                let lt = p.get("latency_ticks");
+                for key in ["p50", "p99", "p999"] {
+                    match lt.and_then(|l| l.get(key)).and_then(Json::as_f64) {
+                        Some(v) if v >= 0.0 => {}
+                        _ => errors.push(format!(
+                            "`current.points` {tenants}-tenant point: `latency_ticks.{key}` missing or negative"
+                        )),
+                    }
+                }
+            }
+        }
+        None => errors.push("missing `current.points` group".into()),
+    }
+    if doc.get("speedup_classifications_per_sec").is_none() {
+        errors.push("missing `speedup_classifications_per_sec`".into());
+    }
+    if errors.is_empty() {
+        println!(
+            "OK: {} covers the full serve matrix ({} points)",
+            path.display(),
+            SERVE_TENANTS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("FAIL: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dsm_bench::alloc_track::CountingAlloc;
+use dsm_bench::compare::speedups;
 use dsm_bench::simbench::{measure, point_key};
 use dsm_bench::bench_matrix;
 use dsm_harness::json::{parse, Json};
@@ -65,41 +66,6 @@ fn read_json(path: &Path) -> Option<Json> {
     }
 }
 
-/// Per-key ratios current/baseline plus their geometric mean. Keys measured
-/// now but absent from the recorded map — a baseline written before the
-/// bench matrix grew (say, before the 64P/128P points existed) — are
-/// reported as `"new entry"` rather than silently skipped or failed; the
-/// geomean covers only keys present on both sides.
-fn speedups(baseline: &Json, current: &Json) -> Json {
-    let mut out = Json::obj();
-    let mut log_sum = 0.0;
-    let mut count = 0usize;
-    if let (Some(Json::Obj(base)), Some(cur)) = (
-        baseline.get("events_per_sec"),
-        current.get("events_per_sec"),
-    ) {
-        for (key, bv) in base {
-            if let (Some(b), Some(c)) = (bv.as_f64(), cur.get(key).and_then(Json::as_f64)) {
-                if b > 0.0 && c > 0.0 {
-                    let r = c / b;
-                    out = out.field(key, (r * 1000.0).round() / 1000.0);
-                    log_sum += r.ln();
-                    count += 1;
-                }
-            }
-        }
-        if let Json::Obj(cur) = cur {
-            for (key, cv) in cur {
-                if cv.as_f64().is_some() && base.iter().all(|(k, _)| k != key) {
-                    out = out.field(key, "new entry");
-                }
-            }
-        }
-    }
-    let geomean = if count > 0 { (log_sum / count as f64).exp() } else { 1.0 };
-    out.field("geomean", (geomean * 1000.0).round() / 1000.0)
-}
-
 /// The beyond-paper scaling curve (`current` only): Ocean — the most
 /// interval-dense workload, i.e. the collection-bound regime the sharded
 /// core targets — at each of [`SCALE_PROCS`], reference serial arm vs the
@@ -143,7 +109,10 @@ fn update(path: &Path, reset_baseline: bool) -> ExitCode {
                     .collect(),
             ),
         )
-        .field("speedup_events_per_sec", speedups(&baseline, &current))
+        .field(
+            "speedup_events_per_sec",
+            speedups(&baseline, &current, "events_per_sec"),
+        )
         .field("baseline", baseline)
         .field("current", current);
     if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
@@ -197,7 +166,7 @@ fn compare(path: &Path) -> ExitCode {
     let now = m.to_json("working-tree");
     println!(
         "speedup (working tree / recorded current): {}",
-        speedups(recorded, &now)
+        speedups(recorded, &now, "events_per_sec")
     );
     println!(
         "steady-state allocs per classified interval: {}",
@@ -335,40 +304,6 @@ fn check(path: &Path) -> ExitCode {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn eps(pairs: &[(&str, f64)]) -> Json {
-        let map = pairs
-            .iter()
-            .fold(Json::obj(), |o, (k, v)| o.field(k, *v));
-        Json::obj().field("events_per_sec", map)
-    }
-
-    #[test]
-    fn speedups_reports_matrix_growth_as_new_entries() {
-        // Baseline recorded before the 64P/128P scale points existed.
-        let baseline = eps(&[("lu-2p", 100.0), ("lu-8p", 50.0)]);
-        let current = eps(&[("lu-2p", 200.0), ("lu-8p", 50.0), ("ocean-64p", 10.0)]);
-        let s = speedups(&baseline, &current);
-        assert_eq!(s.get("lu-2p").and_then(Json::as_f64), Some(2.0));
-        assert_eq!(s.get("lu-8p").and_then(Json::as_f64), Some(1.0));
-        assert_eq!(s.get("ocean-64p").and_then(Json::as_str), Some("new entry"));
-        // Geomean covers only the shared keys: sqrt(2.0 * 1.0).
-        let g = s.get("geomean").and_then(Json::as_f64).unwrap();
-        assert!((g - 1.414).abs() < 1e-9, "geomean = {g}");
-    }
-
-    #[test]
-    fn speedups_identical_maps_have_no_new_entries() {
-        let baseline = eps(&[("lu-2p", 100.0)]);
-        let s = speedups(&baseline, &baseline);
-        assert_eq!(s.get("lu-2p").and_then(Json::as_f64), Some(1.0));
-        assert_eq!(s.get("geomean").and_then(Json::as_f64), Some(1.0));
-        match s {
-            Json::Obj(fields) => assert_eq!(fields.len(), 2),
-            _ => unreachable!(),
-        }
-    }
-}
+// The speedup-map unit tests (matrix growth → "new entry", matrix shrink →
+// "removed entry", identical maps → ratios only) live with the shared
+// implementation in `dsm_bench::compare`.

@@ -1,0 +1,106 @@
+//! Branch-vs-baseline speedup maps shared by the `bench_sim` and
+//! `bench_serve` binaries.
+
+use dsm_harness::json::Json;
+
+/// Per-key ratios `current/baseline` for the named rate map, plus their
+/// geometric mean. Coverage drift is reported symmetrically instead of
+/// silently skipped: keys measured now but absent from the recorded map —
+/// a baseline written before the bench matrix grew — appear as
+/// `"new entry"`, and keys recorded in the baseline but no longer measured
+/// — the matrix shrank, or a point was renamed — appear as
+/// `"removed entry"`. The geomean covers only keys present on both sides.
+pub fn speedups(baseline: &Json, current: &Json, map_key: &str) -> Json {
+    let mut out = Json::obj();
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    if let (Some(Json::Obj(base)), Some(cur)) = (baseline.get(map_key), current.get(map_key)) {
+        for (key, bv) in base {
+            match (bv.as_f64(), cur.get(key).and_then(Json::as_f64)) {
+                (Some(b), Some(c)) if b > 0.0 && c > 0.0 => {
+                    let r = c / b;
+                    out = out.field(key, (r * 1000.0).round() / 1000.0);
+                    log_sum += r.ln();
+                    count += 1;
+                }
+                (Some(_), None) => {
+                    out = out.field(key, "removed entry");
+                }
+                _ => {}
+            }
+        }
+        if let Json::Obj(cur) = cur {
+            for (key, cv) in cur {
+                if cv.as_f64().is_some() && base.iter().all(|(k, _)| k != key) {
+                    out = out.field(key, "new entry");
+                }
+            }
+        }
+    }
+    let geomean = if count > 0 { (log_sum / count as f64).exp() } else { 1.0 };
+    out.field("geomean", (geomean * 1000.0).round() / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(pairs: &[(&str, f64)]) -> Json {
+        let map = pairs.iter().fold(Json::obj(), |o, (k, v)| o.field(k, *v));
+        Json::obj().field("events_per_sec", map)
+    }
+
+    #[test]
+    fn speedups_reports_matrix_growth_as_new_entries() {
+        // Baseline recorded before the 64P/128P scale points existed.
+        let baseline = eps(&[("lu-2p", 100.0), ("lu-8p", 50.0)]);
+        let current = eps(&[("lu-2p", 200.0), ("lu-8p", 50.0), ("ocean-64p", 10.0)]);
+        let s = speedups(&baseline, &current, "events_per_sec");
+        assert_eq!(s.get("lu-2p").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(s.get("lu-8p").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(s.get("ocean-64p").and_then(Json::as_str), Some("new entry"));
+        // Geomean covers only the shared keys: sqrt(2.0 * 1.0).
+        let g = s.get("geomean").and_then(Json::as_f64).unwrap();
+        assert!((g - 1.414).abs() < 1e-9, "geomean = {g}");
+    }
+
+    #[test]
+    fn speedups_reports_matrix_shrink_as_removed_entries() {
+        // The baseline recorded a point the current tree no longer
+        // measures (dropped from the matrix or renamed). That must be
+        // surfaced symmetrically with the "new entry" path — not a silent
+        // success that hides lost coverage.
+        let baseline = eps(&[("lu-2p", 100.0), ("radix-8p", 75.0)]);
+        let current = eps(&[("lu-2p", 150.0)]);
+        let s = speedups(&baseline, &current, "events_per_sec");
+        assert_eq!(s.get("lu-2p").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(s.get("radix-8p").and_then(Json::as_str), Some("removed entry"));
+        // Geomean still covers only the shared keys.
+        assert_eq!(s.get("geomean").and_then(Json::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn speedups_identical_maps_have_no_drift_entries() {
+        let baseline = eps(&[("lu-2p", 100.0)]);
+        let s = speedups(&baseline, &baseline, "events_per_sec");
+        assert_eq!(s.get("lu-2p").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(s.get("geomean").and_then(Json::as_f64), Some(1.0));
+        match s {
+            Json::Obj(fields) => assert_eq!(fields.len(), 2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn speedups_works_for_other_rate_maps() {
+        let mk = |pairs: &[(&str, f64)]| {
+            let map = pairs.iter().fold(Json::obj(), |o, (k, v)| o.field(k, *v));
+            Json::obj().field("classifications_per_sec", map)
+        };
+        let baseline = mk(&[("64-tenants", 1000.0)]);
+        let current = mk(&[("64-tenants", 2000.0), ("1024-tenants", 500.0)]);
+        let s = speedups(&baseline, &current, "classifications_per_sec");
+        assert_eq!(s.get("64-tenants").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(s.get("1024-tenants").and_then(Json::as_str), Some("new entry"));
+    }
+}

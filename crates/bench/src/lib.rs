@@ -8,6 +8,8 @@
 //! (`cargo run --release -p dsm-harness --bin fig2`).
 
 pub mod alloc_track;
+pub mod compare;
+pub mod servebench;
 pub mod simbench;
 
 use std::sync::Arc;

@@ -1,0 +1,145 @@
+//! Phase-server load measurements behind `BENCH_SERVE.json`.
+//!
+//! Each point runs the `phased --smoke`-equivalent scenario at a tenant
+//! count from [`SERVE_TENANTS`] — the whole fleet concurrent, short
+//! synthetic streams, mixed disturbances — through the public harness
+//! driver ([`dsm_harness::serve::run_scenario`]). The deterministic outcome
+//! (latency percentiles in ticks, queue high-waters, backpressure counts)
+//! is cross-checked bit-identical across samples; only the wall-clock rate
+//! varies, and like `simbench` the reported figure is the minimum-time
+//! (maximum-rate) sample, the statistic least sensitive to host scheduling
+//! noise.
+
+use dsm_harness::json::Json;
+use dsm_harness::serve::{run_scenario, ServeOutcome, ServeScenario};
+
+/// Tenant counts of the serve bench matrix (all-concurrent smoke fleets).
+pub const SERVE_TENANTS: [usize; 3] = [64, 256, 1024];
+
+/// Seed shared by every bench scenario (same as `phased`'s default).
+pub const SERVE_SEED: u64 = 42;
+
+/// Stable key for one serve-matrix point, e.g. `64-tenants`.
+pub fn serve_point_key(tenants: usize) -> String {
+    format!("{tenants}-tenants")
+}
+
+/// One measured point: the deterministic scenario outcome plus the
+/// least-noise wall-clock rate.
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    pub tenants: usize,
+    /// Minimum wall-clock seconds over the samples.
+    pub wall_secs: f64,
+    /// `classified / wall_secs` for the fastest sample.
+    pub classifications_per_sec: f64,
+    pub outcome: ServeOutcome,
+}
+
+impl ServePoint {
+    /// Deterministic per-point detail (everything but the wall-clock rate).
+    pub fn detail_json(&self) -> Json {
+        Json::obj()
+            .field("tenants", self.tenants)
+            .field("classified", self.outcome.classified)
+            .field("offered", self.outcome.offered)
+            .field("accepted", self.outcome.accepted)
+            .field("busy_events", self.outcome.busy_events)
+            .field("output_stalls", self.outcome.output_stalls)
+            .field("queue_high_water", self.outcome.queue_high_water)
+            .field("peak_resident_footprint", self.outcome.peak_resident_footprint)
+            .field(
+                "latency_ticks",
+                Json::obj()
+                    .field("p50", self.outcome.latency_ticks.0)
+                    .field("p99", self.outcome.latency_ticks.1)
+                    .field("p999", self.outcome.latency_ticks.2),
+            )
+    }
+}
+
+/// Measure the whole serve matrix. Panics if any scenario's deterministic
+/// outcome drifts between samples — that would mean the server is not a
+/// pure function of the scenario, which the property suite forbids.
+pub fn measure_serve(samples: usize) -> Vec<ServePoint> {
+    SERVE_TENANTS
+        .iter()
+        .map(|&tenants| {
+            let sc = ServeScenario::smoke(tenants, SERVE_SEED);
+            let mut best = f64::INFINITY;
+            let mut outcome: Option<ServeOutcome> = None;
+            for _ in 0..samples.max(1) {
+                let (out, timing) = run_scenario(&sc);
+                if let Some(prev) = &outcome {
+                    assert_eq!(prev, &out, "serve outcome drifted between samples");
+                }
+                best = best.min(timing.wall_secs);
+                outcome = Some(out);
+            }
+            let outcome = outcome.expect("at least one sample");
+            let classifications_per_sec = if best > 0.0 {
+                outcome.classified as f64 / best
+            } else {
+                0.0
+            };
+            ServePoint { tenants, wall_secs: best, classifications_per_sec, outcome }
+        })
+        .collect()
+}
+
+/// Serialize one measurement section of `BENCH_SERVE.json`.
+pub fn serve_section_json(points: &[ServePoint], label: &str) -> Json {
+    let rates = points.iter().fold(Json::obj(), |o, p| {
+        o.field(&serve_point_key(p.tenants), round3(p.classifications_per_sec))
+    });
+    Json::obj()
+        .field("label", label)
+        .field("classifications_per_sec", rates)
+        .field(
+            "points",
+            Json::Arr(points.iter().map(ServePoint::detail_json).collect()),
+        )
+}
+
+/// Round like `simbench`: wall-clock rates don't carry sub-millidigit
+/// precision run to run.
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_point_keys_are_stable() {
+        assert_eq!(serve_point_key(64), "64-tenants");
+        assert_eq!(serve_point_key(1024), "1024-tenants");
+    }
+
+    #[test]
+    fn smallest_point_measures_and_serializes() {
+        let sc = ServeScenario::smoke(8, SERVE_SEED);
+        let (out, timing) = run_scenario(&sc);
+        assert!(out.classified > 0);
+        assert!(timing.wall_secs >= 0.0);
+        let p = ServePoint {
+            tenants: 8,
+            wall_secs: timing.wall_secs.max(1e-9),
+            classifications_per_sec: out.classified as f64 / timing.wall_secs.max(1e-9),
+            outcome: out,
+        };
+        let j = serve_section_json(&[p], "x");
+        assert!(j
+            .get("classifications_per_sec")
+            .and_then(|m| m.get("8-tenants"))
+            .and_then(Json::as_f64)
+            .is_some());
+        let detail = j.get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(detail.len(), 1);
+        let lt = detail[0].get("latency_ticks").expect("latency group");
+        for key in ["p50", "p99", "p999"] {
+            assert!(lt.get(key).and_then(Json::as_f64).is_some(), "missing {key}");
+        }
+    }
+}

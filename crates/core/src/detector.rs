@@ -429,12 +429,15 @@ impl TraceClassifier {
 // ---------------------------------------------------------------------------
 
 /// Classifies intervals as they complete, like the paper's hardware.
+///
+/// Internally this is the gather half (BBV accumulators + DDV state) fused
+/// with a [`crate::signature::ClassifierBank`] — the same kernel
+/// `dsm-serve` runs per tenant, so in-simulator and served classification
+/// are bit-identical by construction.
 pub struct OnlineDetector {
-    mode: DetectorMode,
-    thresholds: Thresholds,
     bbv: Vec<BbvAccumulator>,
     ddv: DdvState,
-    tables: Vec<FootprintTable>,
+    bank: crate::signature::ClassifierBank,
     /// Deadline-degraded row gathering; `None` on a reliable system (the
     /// gather then takes the exact paper path with no staleness tracking).
     availability: Option<(AvailabilityModel, DegradedCollector)>,
@@ -464,11 +467,14 @@ impl OnlineDetector {
         let mut telem = DetectorTelemetry::new(n_procs);
         let probes = DetectorProbes::register(&mut telem, n_procs);
         Self {
-            mode,
-            thresholds,
             bbv: (0..n_procs).map(|_| BbvAccumulator::new(geometry.bbv_entries)).collect(),
             ddv: DdvState::new(n_procs, dist),
-            tables: (0..n_procs).map(|_| FootprintTable::new(geometry.footprint_vectors)).collect(),
+            bank: crate::signature::ClassifierBank::new(
+                n_procs,
+                mode,
+                thresholds,
+                geometry.footprint_vectors,
+            ),
             availability: None,
             classified: vec![Vec::new(); n_procs],
             scratch_bbv: Vec::new(),
@@ -498,11 +504,11 @@ impl OnlineDetector {
     }
 
     pub fn mode(&self) -> DetectorMode {
-        self.mode
+        self.bank.mode()
     }
 
     pub fn thresholds(&self) -> Thresholds {
-        self.thresholds
+        self.bank.thresholds()
     }
 
     /// The availability model in force, if any.
@@ -525,7 +531,7 @@ impl OnlineDetector {
 
     /// The footprint table of one processor (inspection / persistence).
     pub fn table(&self, proc: usize) -> &FootprintTable {
-        &self.tables[proc]
+        self.bank.table(proc)
     }
 
     /// Phase id of the most recent interval on `proc`, if any.
@@ -566,7 +572,7 @@ impl OnlineDetector {
     pub(crate) fn parts_mut(
         &mut self,
     ) -> (&mut Vec<BbvAccumulator>, &mut DdvState, &mut Vec<FootprintTable>) {
-        (&mut self.bbv, &mut self.ddv, &mut self.tables)
+        (&mut self.bbv, &mut self.ddv, self.bank.tables_mut())
     }
 }
 
@@ -598,18 +604,13 @@ impl SimObserver for OnlineDetector {
             }
         };
         self.bbv[proc].normalized_into(&mut self.scratch_bbv);
-        let dds_thr = match self.mode {
-            DetectorMode::Bbv => None,
-            // Past the staleness bound the DDS is untrustworthy:
-            // classification falls back to the uniprocessor BBV gate.
-            DetectorMode::BbvDdv if degraded => None,
-            DetectorMode::BbvDdv => Some(self.thresholds.dds),
-        };
-        let m = self.tables[proc].classify(
+        let c = self.bank.classify_raw(
+            proc,
+            stats.index,
+            stats.cpi(),
             &self.scratch_bbv,
             self.scratch_sample.dds,
-            self.thresholds.bbv,
-            dds_thr,
+            degraded,
         );
         // Classification span on the processor's cumulative interval clock
         // (covers the interval just classified), plus outcome counters.
@@ -617,20 +618,13 @@ impl SimObserver for OnlineDetector {
         self.cum_cycles[proc] += stats.cycles;
         self.telem.span(proc, self.probes.classify, start, stats.cycles);
         self.telem.add(self.probes.intervals, 1);
-        if m.is_new {
+        if c.is_new_phase {
             self.telem.add(self.probes.new_phases, 1);
         }
         if degraded {
             self.telem.add(self.probes.degraded, 1);
         }
-        self.classified[proc].push(ClassifiedInterval {
-            proc,
-            index: stats.index,
-            phase_id: m.phase_id,
-            is_new_phase: m.is_new,
-            cpi: stats.cpi(),
-            degraded,
-        });
+        self.classified[proc].push(c);
         self.bbv[proc].reset();
     }
 }

@@ -40,6 +40,7 @@ pub mod distance;
 pub mod footprint;
 pub mod predictor;
 pub mod shard_collector;
+pub mod signature;
 pub mod telem;
 pub mod working_set;
 
@@ -51,6 +52,7 @@ pub use detector::{
 };
 pub use footprint::{FootprintTable, Match};
 pub use shard_collector::{DrainCounters, ShardedCollector};
+pub use signature::{ClassifierBank, IntervalSignature, SignatureExtractor};
 pub use predictor::{LastPhasePredictor, Markov2Predictor, PhasePredictor, RlePredictor};
 
 /// Default accumulator size (32 in the paper: "a 32-entry accumulator and a

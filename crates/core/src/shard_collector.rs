@@ -331,7 +331,7 @@ mod tests {
 
     fn dist(n: usize) -> Vec<f64> {
         (0..n * n)
-            .map(|k| if k / n == k % n { 1.0 } else { 1.0 + ((k / n ^ k % n) as u64).count_ones() as f64 })
+            .map(|k| if k / n == k % n { 1.0 } else { 1.0 + (((k / n) ^ (k % n)) as u64).count_ones() as f64 })
             .collect()
     }
 

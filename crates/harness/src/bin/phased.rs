@@ -1,0 +1,107 @@
+//! `phased` — drive the streaming phase server with a concurrent tenant
+//! fleet: replayed workload traces + synthetic phase-structured streams,
+//! under seeded service disturbances (tenant stalls, burst arrivals, slow
+//! consumers) and optional churn.
+//!
+//! Usage:
+//!   phased [--smoke] [--tenants N] [--concurrent N] [--trace-tenants N]
+//!          [--intervals N] [--churn-every N] [--seed S] [--jobs N]
+//!
+//! `--smoke` is the CI/bench profile: N concurrent synthetic tenants
+//! (default 1024), short streams, mixed disturbances. Without `--smoke`
+//! the run adds 5 trace tenants (the five paper workloads at 16P), longer
+//! streams, and churn.
+//!
+//! Artefacts (byte-identical across reruns — no wall-clock inside):
+//! `results/serve.json` (schema `dsm-serve-run/v1`) and `results/serve.txt`.
+//! Wall-clock throughput goes to stdout only; `bench_serve` records it in
+//! BENCH_SERVE.json with proper sampling.
+
+use dsm_harness::json::Json;
+use dsm_harness::serve::{outcome_json, outcome_text, run_scenario, DisturbPlan, ServeScenario};
+use dsm_harness::{parallel, report};
+
+fn main() {
+    let jobs = parallel::jobs_from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut tenants = 1024usize;
+    let mut concurrent = 0usize; // 0 = same as tenants
+    let mut trace_tenants = if smoke { 0 } else { 5 };
+    let mut intervals = if smoke { 24 } else { 64 };
+    let mut churn_every = if smoke { 0 } else { 32 };
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |name: &str| -> Option<String> {
+            if args[i] == name {
+                Some(args.get(i + 1).unwrap_or_else(|| panic!("{name} needs a value")).clone())
+            } else {
+                None
+            }
+        };
+        if let Some(v) = take("--tenants") {
+            tenants = v.parse().expect("--tenants N");
+            i += 2;
+        } else if let Some(v) = take("--concurrent") {
+            concurrent = v.parse().expect("--concurrent N");
+            i += 2;
+        } else if let Some(v) = take("--trace-tenants") {
+            trace_tenants = v.parse().expect("--trace-tenants N");
+            i += 2;
+        } else if let Some(v) = take("--intervals") {
+            intervals = v.parse().expect("--intervals N");
+            i += 2;
+        } else if let Some(v) = take("--churn-every") {
+            churn_every = v.parse().expect("--churn-every N");
+            i += 2;
+        } else if let Some(v) = take("--seed") {
+            seed = v.parse().expect("--seed S");
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    if concurrent == 0 {
+        concurrent = tenants;
+    }
+
+    let mut sc = ServeScenario::smoke(tenants, seed);
+    sc.concurrent = concurrent.min(tenants);
+    sc.trace_tenants = trace_tenants.min(tenants);
+    sc.intervals_per_tenant = intervals;
+    sc.churn_every = churn_every as u64;
+    sc.threads = jobs;
+    sc.serve.max_tenants = sc.concurrent.max(16);
+    if !smoke {
+        sc.disturb = DisturbPlan::mixed(seed);
+    }
+
+    let (out, timing) = run_scenario(&sc);
+
+    println!(
+        "{} tenants ({} concurrent, {} trace), {} rounds: {} classified in {:.3}s = {:.0} classifications/sec",
+        sc.tenants,
+        sc.concurrent,
+        sc.trace_tenants,
+        out.rounds,
+        out.classified,
+        timing.wall_secs,
+        timing.classifications_per_sec,
+    );
+    println!(
+        "latency ticks p50/p99/p999 = {}/{}/{}; busy {} / offered {}; queue hw {}",
+        out.latency_ticks.0,
+        out.latency_ticks.1,
+        out.latency_ticks.2,
+        out.busy_events,
+        out.offered,
+        out.queue_high_water,
+    );
+
+    let text = outcome_text(&sc, &out);
+    print!("{text}");
+    report::announce(&report::write_text("serve.txt", &text).expect("write serve.txt"));
+    let json: Json = outcome_json(&sc, &out);
+    report::announce(&report::write_json("serve.json", &json).expect("write serve.json"));
+}

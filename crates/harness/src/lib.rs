@@ -41,6 +41,7 @@ pub mod parallel;
 pub mod report;
 pub mod scale;
 pub mod sensitivity;
+pub mod serve;
 pub mod simpoint;
 pub mod sweep;
 pub mod tables;
@@ -51,6 +52,7 @@ pub mod trace;
 pub use experiment::ExperimentConfig;
 pub use faults::{fault_sweep, FaultPoint, FaultSweep};
 pub use parallel::{capture_matrix, par_map, RunReport, TraceStore};
+pub use serve::{run_scenario, DisturbPlan, ServeOutcome, ServeScenario};
 pub use simpoint::{sampled_run, SimpointResult};
 pub use sweep::{bbv_curve, bbv_ddv_curve};
 pub use topology::{topology_sweep, TopologyPoint, TopologySweep};

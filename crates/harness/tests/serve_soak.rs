@@ -1,0 +1,97 @@
+//! Soak/churn test for the streaming phase server (satellite of PR 8).
+//!
+//! Admits and evicts 1 000 tenants through a 128-wide live window under
+//! seeded burst arrivals, stalls, slow consumers, and forced churn, then
+//! checks the properties a long-lived server must hold:
+//!
+//! * no footprint-table capacity leak — every eviction releases its
+//!   vectors, so the final resident capacity is zero and the peak never
+//!   exceeds the live window's worth;
+//! * queue-depth high-water marks stay within the configured bounds;
+//! * the `serve.json` artefact is byte-identical on rerun.
+
+use dsm_harness::json::Json;
+use dsm_harness::serve::{outcome_json, run_scenario, DisturbPlan, ServeScenario};
+use dsm_serve::ServeConfig;
+
+fn soak_scenario() -> ServeScenario {
+    ServeScenario {
+        tenants: 1000,
+        concurrent: 128,
+        trace_tenants: 0,
+        intervals_per_tenant: 12,
+        churn_every: 7,
+        threads: 4,
+        serve: ServeConfig {
+            shards: 8,
+            queue_capacity: 8,
+            output_capacity: 16,
+            batch_size: 4,
+            max_tenants: 128,
+            per_tenant_metrics: false,
+        },
+        disturb: DisturbPlan::mixed(0xdead_beef),
+        seed: 0xdead_beef,
+    }
+}
+
+#[test]
+fn soak_1k_tenants_no_footprint_leak_and_bounded_queues() {
+    let sc = soak_scenario();
+    let (out, _) = run_scenario(&sc);
+
+    // Full fleet cycled through: everyone admitted, everyone evicted.
+    assert_eq!(out.admitted, sc.tenants as u64);
+    assert_eq!(out.evicted, sc.tenants as u64);
+
+    // The disturbances actually fired — the soak is not vacuous.
+    assert!(out.burst_offers > 0, "burst arrivals never drawn");
+    assert!(out.stall_rounds > 0, "tenant stalls never drawn");
+    assert!(out.skipped_drains > 0, "slow consumers never drawn");
+    assert!(out.abandoned > 0, "forced churn never abandoned in-flight work");
+
+    // No footprint-table capacity leak: evictions release every vector.
+    assert_eq!(
+        out.final_resident_footprint, 0,
+        "footprint capacity leaked after full eviction sweep"
+    );
+    // Peak is bounded by the live window: 128 single-processor tenants.
+    let per_tenant = dsm_phase::DEFAULT_FOOTPRINT_VECTORS;
+    assert!(out.peak_resident_footprint > 0);
+    assert!(
+        out.peak_resident_footprint <= sc.concurrent * per_tenant,
+        "peak resident footprint {} exceeds live window {}",
+        out.peak_resident_footprint,
+        sc.concurrent * per_tenant
+    );
+
+    // Queue depth never exceeded the configured bound.
+    assert!(
+        out.queue_high_water <= sc.serve.queue_capacity as u64,
+        "queue high-water {} above capacity {}",
+        out.queue_high_water,
+        sc.serve.queue_capacity
+    );
+
+    // Backpressure conservation across the whole soak.
+    assert_eq!(out.offered, out.accepted + out.busy_events);
+    // Every accepted signature is classified or explicitly abandoned;
+    // churn-abandoned *undelivered* output appears in both `classified`
+    // and `abandoned`, hence the `classified - delivered` correction.
+    assert_eq!(
+        out.classified + out.abandoned,
+        out.accepted + (out.classified - out.delivered),
+        "accepted work must be classified, delivered, or explicitly abandoned"
+    );
+}
+
+#[test]
+fn soak_serve_json_byte_identical_on_rerun() {
+    let sc = soak_scenario();
+    let (a, _) = run_scenario(&sc);
+    let (b, _) = run_scenario(&sc);
+    assert_eq!(a, b, "outcome structs diverged across reruns");
+    let ja: Json = outcome_json(&sc, &a);
+    let jb: Json = outcome_json(&sc, &b);
+    assert_eq!(ja.to_string(), jb.to_string(), "serve.json bytes diverged across reruns");
+}

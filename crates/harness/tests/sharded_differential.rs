@@ -44,7 +44,7 @@ fn classify(trace: &SystemTrace) -> Vec<Vec<u32>> {
 
 fn assert_matches_serial(app: App, plan: FaultPlan, plan_name: &str) {
     let cfg = ExperimentConfig::test(app, N_PROCS);
-    let serial = capture_with_faults(cfg, plan.clone());
+    let serial = capture_with_faults(cfg, plan);
     let serial_phases = classify(&serial);
     assert!(
         serial.min_intervals() > 0,
@@ -52,7 +52,7 @@ fn assert_matches_serial(app: App, plan: FaultPlan, plan_name: &str) {
     );
     let threads = diff_threads();
     for shards in SHARD_COUNTS {
-        let sharded = capture_sharded_with(cfg, plan.clone(), shards, threads);
+        let sharded = capture_sharded_with(cfg, plan, shards, threads);
         assert_eq!(
             sharded.trace.stats, serial.stats,
             "{app:?}/{plan_name}: stats diverged at {shards} shards"

@@ -126,9 +126,9 @@ impl ShardedSched {
         let n = layout.n_nodes();
         let (mut shard, mut start) = (vec![0u32; n], vec![0u32; n]);
         let mut shard_start = vec![0u32; layout.n_shards()];
-        for s in 0..layout.n_shards() {
+        for (s, ss) in shard_start.iter_mut().enumerate() {
             let r = layout.procs(s);
-            shard_start[s] = r.start as u32;
+            *ss = r.start as u32;
             for p in r.clone() {
                 shard[p] = s as u32;
                 start[p] = r.start as u32;

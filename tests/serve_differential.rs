@@ -1,0 +1,187 @@
+//! Server/simulator classification equivalence — the correctness anchor of
+//! `dsm-serve`.
+//!
+//! A phase-detection service is only trustworthy if moving classification
+//! out of the simulated hardware changes *nothing*: one tenant replaying a
+//! workload's interval signatures through [`PhaseServer`] must produce the
+//! exact `ClassifiedInterval` sequence the in-simulator [`OnlineDetector`]
+//! records on the same run — phase ids, new-phase flags, CPIs, and (under
+//! an [`AvailabilityModel`]) degraded flags, bit for bit. Both halves run
+//! the same extracted kernel (`ClassifierBank`), so equality here pins the
+//! extraction seam, the signature wire format, and the server's queueing
+//! discipline all at once — for all five workloads at the paper's 16
+//! processors.
+
+use dsm_phase_detection::prelude::*;
+use dsm_phase_detection::sim::network::Network;
+
+use dsm_phase::detector::{AvailabilityModel, ClassifiedInterval};
+use dsm_phase::signature::SignatureExtractor;
+use dsm_serve::{Ingest, PhaseServer, ServeConfig, TenantConfig};
+
+const THR: Thresholds = Thresholds { bbv: 0.4, dds: 0.25 };
+
+/// Run the simulation twice — online detector and signature extractor —
+/// and return both results. `avail` threads the same availability model
+/// through both, so the degraded verdicts face identical conditions.
+fn run_both(
+    app: App,
+    n_procs: usize,
+    avail: Option<AvailabilityModel>,
+) -> (Vec<Vec<ClassifiedInterval>>, Vec<Vec<dsm_phase::IntervalSignature>>) {
+    let config = ExperimentConfig::test(app, n_procs);
+    let sys_cfg = config.system_config();
+    let dist = Network::new(sys_cfg.network, n_procs).distance_matrix();
+    let geometry = DetectorGeometry::default();
+
+    let online = match avail {
+        None => OnlineDetector::new(n_procs, dist.clone(), DetectorMode::BbvDdv, THR, geometry),
+        Some(m) => OnlineDetector::with_availability(
+            n_procs,
+            dist.clone(),
+            DetectorMode::BbvDdv,
+            THR,
+            geometry,
+            m,
+        ),
+    };
+    let stream = make_stream(app, n_procs, Scale::Test);
+    let (_, online) = System::new(sys_cfg.clone(), stream, online).run();
+
+    let extractor = match avail {
+        None => SignatureExtractor::new(n_procs, dist, geometry),
+        Some(m) => SignatureExtractor::with_availability(n_procs, dist, geometry, m),
+    };
+    let stream = make_stream(app, n_procs, Scale::Test);
+    let (_, extractor) = System::new(sys_cfg, stream, extractor).run();
+
+    (online.classified, extractor.signatures)
+}
+
+/// Replay one workload's signatures through a single server tenant —
+/// round-robin across processors, honouring backpressure by batching —
+/// and return the per-processor classification streams.
+fn serve_one_tenant(
+    n_procs: usize,
+    signatures: &[Vec<dsm_phase::IntervalSignature>],
+) -> Vec<Vec<ClassifiedInterval>> {
+    // Deliberately tight queues so the differential also exercises Busy
+    // retries and output stalls, not just the happy path.
+    let mut srv = PhaseServer::new(ServeConfig {
+        queue_capacity: 8,
+        output_capacity: 16,
+        batch_size: 4,
+        ..ServeConfig::default()
+    });
+    let tenant = srv
+        .admit(TenantConfig::new(n_procs, DetectorMode::BbvDdv, THR))
+        .expect("admit");
+
+    let mut out: Vec<Vec<ClassifiedInterval>> = vec![Vec::new(); n_procs];
+    let drain = |srv: &mut PhaseServer, out: &mut Vec<Vec<ClassifiedInterval>>| {
+        for c in srv.drain_output(tenant, usize::MAX).expect("drain") {
+            out[c.proc].push(c);
+        }
+    };
+
+    let mut next = vec![0usize; n_procs];
+    loop {
+        let mut progressed = false;
+        for proc in 0..n_procs {
+            if next[proc] >= signatures[proc].len() {
+                continue;
+            }
+            match srv.offer(tenant, signatures[proc][next[proc]].clone()).expect("offer") {
+                Ingest::Enqueued { .. } => {
+                    next[proc] += 1;
+                    progressed = true;
+                }
+                Ingest::Busy => {
+                    srv.run_batch();
+                    drain(&mut srv, &mut out);
+                }
+            }
+        }
+        if !progressed && (0..n_procs).all(|p| next[p] >= signatures[p].len()) {
+            break;
+        }
+    }
+    while srv.run_batch() > 0 {
+        drain(&mut srv, &mut out);
+    }
+    drain(&mut srv, &mut out);
+
+    let stats = srv.stats(tenant).expect("stats");
+    assert_eq!(stats.offered, stats.accepted + stats.rejected, "conservation");
+    assert_eq!(stats.classified, stats.delivered, "everything drained");
+    out
+}
+
+fn check_app(app: App, avail: Option<AvailabilityModel>) {
+    const N: usize = 16;
+    let (online, signatures) = run_both(app, N, avail);
+    assert!(
+        signatures.iter().map(Vec::len).sum::<usize>() > 0,
+        "{}: no intervals extracted",
+        app.name()
+    );
+    let served = serve_one_tenant(N, &signatures);
+    for proc in 0..N {
+        assert_eq!(
+            served[proc],
+            online[proc],
+            "{} proc {proc}: server classification diverged from the online detector",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn lu_16p_server_matches_online_detector() {
+    check_app(App::Lu, None);
+}
+
+#[test]
+fn fmm_16p_server_matches_online_detector() {
+    check_app(App::Fmm, None);
+}
+
+#[test]
+fn art_16p_server_matches_online_detector() {
+    check_app(App::Art, None);
+}
+
+#[test]
+fn equake_16p_server_matches_online_detector() {
+    check_app(App::Equake, None);
+}
+
+#[test]
+fn ocean_16p_server_matches_online_detector() {
+    check_app(App::Ocean, None);
+}
+
+/// Degraded flags cross the wire: under a lossy availability model the
+/// extractor's staleness verdicts — and the BBV-only fallback they force —
+/// match the in-simulator detector exactly.
+#[test]
+fn degraded_flags_survive_the_wire() {
+    let model = AvailabilityModel { seed: 42, miss_ppm: 300_000, max_staleness: 1 };
+    for app in [App::Lu, App::Equake] {
+        let (online, signatures) = run_both(app, 16, Some(model));
+        let degraded_count: usize = signatures
+            .iter()
+            .flatten()
+            .filter(|s| s.degraded)
+            .count();
+        assert!(
+            degraded_count > 0,
+            "{}: lossy model produced no degraded intervals — test is vacuous",
+            app.name()
+        );
+        let served = serve_one_tenant(16, &signatures);
+        for proc in 0..16 {
+            assert_eq!(served[proc], online[proc], "{} proc {proc}", app.name());
+        }
+    }
+}
