@@ -17,6 +17,7 @@
 //!   intervals differ wildly — high CoV — locks a config measured on
 //!   unrepresentative intervals and mispredicts the rest).
 
+use dsm_adapt::{Decision, DecisionKind};
 use dsm_sim::util::{splitmix64, FxHashMap};
 use serde::{Deserialize, Serialize};
 
@@ -118,12 +119,38 @@ enum PhaseState {
     Locked(usize),
 }
 
-/// Run the §II tuning protocol over a classified interval stream.
+/// One classified interval as the abstract pipeline consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuningInterval {
+    /// Global interval index (decision-log coordinate).
+    pub index: u64,
+    pub phase: u32,
+    pub cpi: f64,
+    pub insns: u64,
+    /// Classification fell back past the DDS staleness bound. Degraded
+    /// intervals still execute (their cycles are charged under whatever
+    /// configuration is in force) but are **never spent as tuning
+    /// trials**: a measurement the detector itself distrusts must not
+    /// inform the locked choice.
+    pub degraded: bool,
+}
+
+/// Run the §II tuning protocol over a classified interval stream and
+/// return the outcome plus the decision log. This is the canonical entry
+/// point; [`run_tuning`] is the degradation-free wrapper.
 ///
-/// `stream` yields `(phase_id, cpi, insns)` per interval in order.
-pub fn run_tuning(stream: &[(u32, f64, u64)], policy: TuningPolicy) -> TuningOutcome {
+/// The decision log uses the shared [`Decision`] type, so it is directly
+/// comparable (via [`Decision::key`]) with the one a concrete
+/// `dsm_adapt::AdaptSession` emits on the same classified stream — the
+/// transition structure is positional, so the two pipelines must agree
+/// even though they score trials differently.
+pub fn run_tuning_stream(
+    stream: &[TuningInterval],
+    policy: TuningPolicy,
+) -> (TuningOutcome, Vec<Decision>) {
     assert!(policy.n_configs >= 1 && policy.trials_per_config >= 1);
     let mut states: FxHashMap<u32, PhaseState> = FxHashMap::default();
+    let mut decisions = Vec::new();
     let mut out = TuningOutcome {
         total_intervals: stream.len(),
         tuning_intervals: 0,
@@ -132,7 +159,7 @@ pub fn run_tuning(stream: &[(u32, f64, u64)], policy: TuningPolicy) -> TuningOut
         untuned_cycles: 0.0,
     };
 
-    for &(phase, cpi, insns) in stream {
+    for &TuningInterval { index, phase, cpi, insns, degraded } in stream {
         let base = cpi * insns as f64;
         let behaviour = behaviour_of(cpi);
         // Oracle: best config for this interval's true behaviour.
@@ -141,6 +168,20 @@ pub fn run_tuning(stream: &[(u32, f64, u64)], policy: TuningPolicy) -> TuningOut
             .fold(f64::INFINITY, f64::min);
         out.oracle_cycles += base * oracle;
         out.untuned_cycles += base * config_multiplier(behaviour, 0);
+
+        if degraded {
+            // The interval ran under whatever configuration is in force
+            // (an unseen phase runs the default), but the tuning state is
+            // untouched: no trial consumed, no accumulator update, no
+            // decision, no phase entry created.
+            let current = match states.get(&phase) {
+                Some(PhaseState::Locked(c)) => *c,
+                Some(PhaseState::Tuning { config, .. }) => *config,
+                None => 0,
+            };
+            out.tuned_cycles += base * config_multiplier(behaviour, current);
+            continue;
+        }
 
         let state = states.entry(phase).or_insert(PhaseState::Tuning {
             config: 0,
@@ -158,6 +199,11 @@ pub fn run_tuning(stream: &[(u32, f64, u64)], policy: TuningPolicy) -> TuningOut
                 acc_n,
             } => {
                 out.tuning_intervals += 1;
+                decisions.push(Decision {
+                    interval: index,
+                    phase,
+                    kind: DecisionKind::Trial { config: *config },
+                });
                 let m = config_multiplier(behaviour, *config);
                 out.tuned_cycles += base * m;
                 // Measure normalized cost (per-instruction) of this config.
@@ -175,7 +221,13 @@ pub fn run_tuning(stream: &[(u32, f64, u64)], policy: TuningPolicy) -> TuningOut
                         *acc = 0.0;
                         *acc_n = 0;
                     } else {
-                        *state = PhaseState::Locked(best.0);
+                        let locked = best.0;
+                        *state = PhaseState::Locked(locked);
+                        decisions.push(Decision {
+                            interval: index,
+                            phase,
+                            kind: DecisionKind::Lock { config: locked },
+                        });
                     }
                 }
             }
@@ -184,7 +236,24 @@ pub fn run_tuning(stream: &[(u32, f64, u64)], policy: TuningPolicy) -> TuningOut
             }
         }
     }
-    out
+    (out, decisions)
+}
+
+/// Run the §II tuning protocol over a fully-reliable classified interval
+/// stream (`(phase_id, cpi, insns)` per interval in order).
+pub fn run_tuning(stream: &[(u32, f64, u64)], policy: TuningPolicy) -> TuningOutcome {
+    let stream: Vec<TuningInterval> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &(phase, cpi, insns))| TuningInterval {
+            index: i as u64,
+            phase,
+            cpi,
+            insns,
+            degraded: false,
+        })
+        .collect();
+    run_tuning_stream(&stream, policy).0
 }
 
 /// Run the full §II pipeline: detector output feeds a *phase predictor*,
@@ -457,6 +526,73 @@ mod tests {
         assert_eq!(out.total_intervals, 0);
         assert_eq!(out.tuning_intervals, 0);
         assert_eq!(out.vs_oracle(), 1.0);
+    }
+
+    #[test]
+    fn degraded_intervals_are_never_spent_as_trials() {
+        // Regression: a degraded interval arriving mid-tuning used to be
+        // consumed as a trial measurement. It must be charged (it ran) but
+        // leave the tuning state untouched: same trial/lock structure as
+        // the stream with the degraded interval removed.
+        let pol = TuningPolicy::default();
+        let mk = |degraded_at: Option<usize>| -> Vec<TuningInterval> {
+            (0..20)
+                .map(|i| TuningInterval {
+                    index: i as u64,
+                    phase: 0,
+                    cpi: 1.0,
+                    insns: 1000,
+                    degraded: Some(i) == degraded_at,
+                })
+                .collect()
+        };
+        let (clean_out, clean_dec) = run_tuning_stream(&mk(None), pol);
+        let (deg_out, deg_dec) = run_tuning_stream(&mk(Some(2)), pol);
+        assert_eq!(clean_out.tuning_intervals, 4);
+        assert_eq!(deg_out.tuning_intervals, 4, "degraded interval consumed a trial");
+        // Trial configs in order are identical; only the interval indices
+        // shift by the skip.
+        let configs = |d: &[Decision]| {
+            d.iter()
+                .map(|d| match d.kind {
+                    DecisionKind::Trial { config } => (0u8, config),
+                    DecisionKind::Lock { config } => (1, config),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(configs(&clean_dec), configs(&deg_dec));
+        // All 20 intervals were charged in both runs.
+        assert_eq!(deg_out.total_intervals, clean_out.total_intervals);
+        assert!(deg_out.tuned_cycles > 0.0);
+        // A degraded interval before any tuning state exists runs the
+        // default config and creates no phase entry.
+        let lead: Vec<TuningInterval> = std::iter::once(TuningInterval {
+            index: 0,
+            phase: 9,
+            cpi: 1.0,
+            insns: 1000,
+            degraded: true,
+        })
+        .collect();
+        let (out, dec) = run_tuning_stream(&lead, pol);
+        assert_eq!(out.tuning_intervals, 0);
+        assert!(dec.is_empty());
+        let untuned_only = out.untuned_cycles;
+        assert_eq!(out.tuned_cycles, untuned_only, "unseen phase must run the default config");
+    }
+
+    #[test]
+    fn decision_log_matches_protocol_shape() {
+        // One phase, default policy: 4 trials then a lock at the same
+        // interval as the last trial — the exact shape dsm_adapt::Protocol
+        // emits, so the differential suite can compare keys 1:1.
+        let stream: Vec<TuningInterval> = (0..6)
+            .map(|i| TuningInterval { index: i as u64, phase: 0, cpi: 1.0, insns: 100, degraded: false })
+            .collect();
+        let (_, dec) = run_tuning_stream(&stream, TuningPolicy::default());
+        assert_eq!(dec.len(), 5);
+        assert_eq!(dec[3].key().0, dec[4].key().0, "lock shares the last trial's interval");
+        assert!(matches!(dec[4].kind, DecisionKind::Lock { .. }));
     }
 
     #[test]

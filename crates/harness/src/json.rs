@@ -154,6 +154,12 @@ impl From<usize> for Json {
     }
 }
 
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
 impl From<bool> for Json {
     fn from(b: bool) -> Json {
         Json::Bool(b)

@@ -15,6 +15,9 @@
 //!   <0.15 % of memory-controller bandwidth);
 //! * [`adaptive`] — the §II trial-and-error reconfiguration loop, to turn
 //!   CoV/phase-count numbers into end-to-end tuning cost;
+//! * [`adapt`] — the concrete counterpart: `dsm_adapt::AdaptSession` runs
+//!   against the live simulator so locked configurations are real
+//!   reconfigurations (page migration, DVFS epochs, big/little cores);
 //! * [`faults`] — the fault-injection robustness sweep: CoV-of-CPI
 //!   degradation vs a fault-free golden run, with conservation checks;
 //! * [`topology`] — the interconnect-layout sweep: detector quality and
@@ -31,6 +34,7 @@
 //! * [`telemetry`] — instrumented captures and the Chrome-trace / JSONL /
 //!   summary exporters behind every binary's `--telemetry-out` flag.
 
+pub mod adapt;
 pub mod adaptive;
 pub mod experiment;
 pub mod faults;

@@ -522,7 +522,7 @@ mod codec {
     // v2: DirectoryStats.nacks + SystemStats.faults (fault injection).
     // v3: route-aware fabric — NetworkStats.total_flit_hops + per-link
     //     flit counters. Old versions decode as a cache miss, never a panic.
-    const MAGIC: &[u8; 8] = b"DSMTRC3\n";
+    const MAGIC: &[u8; 8] = b"DSMTRC4\n";
 
     fn app_code(app: App) -> u8 {
         match app {
@@ -726,6 +726,7 @@ mod codec {
             ref network,
             ref memctrls,
             ref faults,
+            reconfig,
             finish_cycle,
         } = trace.stats;
         w.u64(procs.len() as u64);
@@ -798,6 +799,16 @@ mod codec {
             } = *m;
             w.u64(requests);
             w.u64(total_queue_delay);
+        }
+        for x in [
+            reconfig.migrations,
+            reconfig.migration_stall_cycles,
+            reconfig.dvfs_epochs,
+            reconfig.dvfs_extra_cycles,
+            reconfig.dvfs_saved_cycles,
+            reconfig.core_switches,
+        ] {
+            w.u64(x);
         }
         w.u64(finish_cycle);
         w.u64(trace.ddv_vectors_exchanged);
@@ -887,6 +898,14 @@ mod codec {
                 total_queue_delay: r.u64()?,
             });
         }
+        let reconfig = dsm_sim::ReconfigStats {
+            migrations: r.u64()?,
+            migration_stall_cycles: r.u64()?,
+            dvfs_epochs: r.u64()?,
+            dvfs_extra_cycles: r.u64()?,
+            dvfs_saved_cycles: r.u64()?,
+            core_switches: r.u64()?,
+        };
         let finish_cycle = r.u64()?;
         let ddv_vectors_exchanged = r.u64()?;
         if r.pos != bytes.len() {
@@ -901,6 +920,7 @@ mod codec {
                 network,
                 memctrls,
                 faults,
+                reconfig,
                 finish_cycle,
             },
             ddv_vectors_exchanged,

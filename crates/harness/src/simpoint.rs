@@ -493,6 +493,7 @@ fn snapshot(
         },
         system: sys.state_snapshot(),
         collector: sys.observer().export_state(),
+        adapt: None,
     }
 }
 

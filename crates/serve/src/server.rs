@@ -708,6 +708,52 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_of_empty_latency_set_are_zero() {
+        let srv = PhaseServer::new(ServeConfig::default());
+        assert_eq!(srv.latency_percentiles(&[0.0, 0.5, 0.99, 1.0]), vec![0, 0, 0, 0]);
+        assert_eq!(srv.latency_percentiles(&[]), Vec::<u64>::new());
+        assert_eq!(srv.report().latency_ticks, (0, 0, 0));
+    }
+
+    #[test]
+    fn percentiles_of_single_sample_all_return_it() {
+        let mut srv = PhaseServer::new(ServeConfig::default());
+        let t = srv.admit(tcfg(1)).unwrap();
+        srv.offer(t, sig(0, 0, 0)).unwrap();
+        srv.run_batch();
+        // Nearest rank clamps to [1, len], so every quantile — including the
+        // degenerate 0.0 — lands on the lone sample.
+        assert_eq!(srv.latency_percentiles(&[0.0, 0.001, 0.5, 0.999, 1.0]), vec![1; 5]);
+    }
+
+    #[test]
+    fn percentiles_of_all_equal_ticks_are_flat() {
+        let mut srv = PhaseServer::new(ServeConfig::default());
+        let t = srv.admit(tcfg(1)).unwrap();
+        for i in 0..5 {
+            srv.offer(t, sig(0, i, 0)).unwrap();
+            srv.run_batch(); // each classified one tick after arrival
+        }
+        assert_eq!(srv.latency_percentiles(&[0.1, 0.5, 0.9, 1.0]), vec![1; 4]);
+        assert_eq!(srv.report().latency_ticks, (1, 1, 1));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_distinct_samples() {
+        // batch_size 1 forces queued signals to wait: three offers at tick 0
+        // classify at ticks 1, 2, 3 → latencies [1, 2, 3].
+        let cfg = ServeConfig { batch_size: 1, ..ServeConfig::default() };
+        let mut srv = PhaseServer::new(cfg);
+        let t = srv.admit(tcfg(1)).unwrap();
+        for i in 0..3 {
+            srv.offer(t, sig(0, i, 0)).unwrap();
+        }
+        while srv.run_batch() > 0 {}
+        // ceil(q·3) ranks: 1/3 → 1st, 0.5 → 2nd, 1.0 → 3rd.
+        assert_eq!(srv.latency_percentiles(&[1.0 / 3.0, 0.5, 1.0]), vec![1, 2, 3]);
+    }
+
+    #[test]
     fn per_tenant_metrics_scoped_by_id() {
         let cfg = ServeConfig { per_tenant_metrics: true, ..ServeConfig::default() };
         let mut srv = PhaseServer::new(cfg);

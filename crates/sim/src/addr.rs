@@ -55,11 +55,29 @@ pub fn block_index(addr: Addr) -> u64 {
 ///
 /// `FirstTouch` is stateful (the OS page table, in effect), so homes are
 /// resolved through this struct rather than a free function.
+///
+/// Two optional layers sit on top of the base policy for the phase-guided
+/// adaptation subsystem:
+///
+/// * **migration overrides** — a page re-homed by
+///   [`HomeMap::set_page_home`] resolves to its override before the base
+///   policy, for every policy (page-granular, so a migrated page can never
+///   alias blocks across homes);
+/// * **touch tracking** — when enabled, per-(page, node) L2-miss counters
+///   feed [`HomeMap::hot_pages`]. Off by default and cost-free when off.
+///
+/// Both layers are empty by default; resolution is then exactly the base
+/// policy (the no-op adaptation arm stays bit-identical).
 #[derive(Debug, Clone)]
 pub struct HomeMap {
     policy: DistributionPolicy,
     n_nodes: usize,
     first_touch: FxHashMap<u64, NodeId>,
+    /// Page → home overrides installed by migration; consulted first.
+    overrides: FxHashMap<u64, NodeId>,
+    /// Per-page, per-node L2-miss counts in the current tracking window.
+    touches: FxHashMap<u64, Vec<u64>>,
+    track: bool,
 }
 
 impl HomeMap {
@@ -69,6 +87,9 @@ impl HomeMap {
             policy,
             n_nodes,
             first_touch: FxHashMap::default(),
+            overrides: FxHashMap::default(),
+            touches: FxHashMap::default(),
+            track: false,
         }
     }
 
@@ -84,6 +105,11 @@ impl HomeMap {
     /// (used only by first-touch).
     #[inline]
     pub fn home(&mut self, addr: Addr, toucher: NodeId) -> NodeId {
+        if !self.overrides.is_empty() {
+            if let Some(&h) = self.overrides.get(&(addr >> PAGE_SHIFT)) {
+                return h;
+            }
+        }
         match self.policy {
             DistributionPolicy::PageInterleave => {
                 ((addr >> PAGE_SHIFT) % self.n_nodes as u64) as NodeId
@@ -103,27 +129,145 @@ impl HomeMap {
         }
     }
 
-    /// Export the first-touch page table (sorted by page index) for
-    /// checkpointing; empty for the stateless placement policies.
+    /// Current home of `page`, overrides included. `None` only for a
+    /// first-touch page nobody has touched (its home is not decided yet).
+    /// For block-interleaved placement — where a page has no single home —
+    /// this reports the home of the page's first block.
+    pub fn page_home(&self, page: u64) -> Option<NodeId> {
+        if let Some(&h) = self.overrides.get(&page) {
+            return Some(h);
+        }
+        match self.policy {
+            DistributionPolicy::PageInterleave => Some((page % self.n_nodes as u64) as NodeId),
+            DistributionPolicy::BlockInterleave => {
+                let first_block = page << (PAGE_SHIFT - BLOCK_SHIFT);
+                Some((first_block % self.n_nodes as u64) as NodeId)
+            }
+            DistributionPolicy::FirstTouch => self.first_touch.get(&page).copied(),
+            DistributionPolicy::Explicit => {
+                Some((page >> (HOME_SHIFT - PAGE_SHIFT)) as NodeId)
+            }
+        }
+    }
+
+    /// Re-home `page` to `home` (migration). Page-granular: every block of
+    /// the page resolves to `home` from now on, under any base policy.
+    pub fn set_page_home(&mut self, page: u64, home: NodeId) {
+        assert!(home < self.n_nodes, "migration target out of range");
+        self.overrides.insert(page, home);
+    }
+
+    /// Pages currently re-homed by migration.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Start counting per-page misses (the hot-page signal for migration).
+    pub fn enable_touch_tracking(&mut self) {
+        self.track = true;
+    }
+
+    /// Whether touch tracking is on.
+    #[inline]
+    pub fn tracking(&self) -> bool {
+        self.track
+    }
+
+    /// Record an L2 miss by `toucher` to `addr`'s page. Call only when
+    /// [`HomeMap::tracking`] — the hot path guards this.
+    pub fn note_miss(&mut self, addr: Addr, toucher: NodeId) {
+        let n = self.n_nodes;
+        let counts = self
+            .touches
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| vec![0; n]);
+        counts[toucher] += 1;
+    }
+
+    /// Reset the touch-tracking window.
+    pub fn reset_touches(&mut self) {
+        self.touches.clear();
+    }
+
+    /// The `k` most-missed pages in the tracking window, hottest first;
+    /// deterministic (ties broken toward the lower page index).
+    pub fn hot_pages(&self, k: usize) -> Vec<crate::reconfig::HotPage> {
+        let mut pages: Vec<crate::reconfig::HotPage> = self
+            .touches
+            .iter()
+            .map(|(&page, counts)| {
+                let total: u64 = counts.iter().sum();
+                let (dominant, &misses) = counts
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+                    .expect("counts vector is never empty");
+                crate::reconfig::HotPage {
+                    page,
+                    home: self.page_home(page).unwrap_or(dominant),
+                    dominant,
+                    misses,
+                    total_misses: total,
+                }
+            })
+            .collect();
+        pages.sort_unstable_by(|a, b| {
+            b.total_misses.cmp(&a.total_misses).then(a.page.cmp(&b.page))
+        });
+        pages.truncate(k);
+        pages
+    }
+
+    /// Export the page tables (sorted by page index) for checkpointing;
+    /// the first-touch table is empty for the stateless placement policies,
+    /// overrides/touches are empty unless adaptation migrated or tracked.
     pub fn export_state(&self) -> crate::state::HomeMapState {
         let mut first_touch: Vec<(u64, usize)> =
             self.first_touch.iter().map(|(&p, &n)| (p, n)).collect();
         first_touch.sort_unstable_by_key(|&(p, _)| p);
-        crate::state::HomeMapState { first_touch }
+        let mut overrides: Vec<(u64, usize)> =
+            self.overrides.iter().map(|(&p, &n)| (p, n)).collect();
+        overrides.sort_unstable_by_key(|&(p, _)| p);
+        let mut touches: Vec<(u64, Vec<u64>)> = self
+            .touches
+            .iter()
+            .map(|(&p, counts)| (p, counts.clone()))
+            .collect();
+        touches.sort_unstable_by_key(|&(p, _)| p);
+        crate::state::HomeMapState {
+            first_touch,
+            overrides,
+            touches,
+            track: self.track,
+        }
     }
 
     /// Restore state captured by [`HomeMap::export_state`], replacing the
-    /// current page table.
+    /// current page tables.
     pub fn import_state(&mut self, st: &crate::state::HomeMapState) {
         self.first_touch.clear();
         for &(p, n) in &st.first_touch {
             self.first_touch.insert(p, n);
         }
+        self.overrides.clear();
+        for &(p, n) in &st.overrides {
+            self.overrides.insert(p, n);
+        }
+        self.touches.clear();
+        for (p, counts) in &st.touches {
+            self.touches.insert(*p, counts.clone());
+        }
+        self.track = st.track;
     }
 
     /// Home lookup that must not mutate state; panics for first-touch pages
     /// never touched before. Used by read-only analyses.
     pub fn home_readonly(&self, addr: Addr) -> NodeId {
+        if !self.overrides.is_empty() {
+            if let Some(&h) = self.overrides.get(&(addr >> PAGE_SHIFT)) {
+                return h;
+            }
+        }
         match self.policy {
             DistributionPolicy::PageInterleave => {
                 ((addr >> PAGE_SHIFT) % self.n_nodes as u64) as NodeId

@@ -37,6 +37,7 @@ pub mod memctrl;
 pub mod network;
 pub mod observer;
 pub mod processor;
+pub mod reconfig;
 pub mod sched;
 pub mod shard;
 pub mod state;
@@ -54,6 +55,7 @@ pub use config::{
 pub use fault::{FaultState, FaultStats};
 pub use event::{Event, InstructionStream};
 pub use observer::{IntervalStats, NullObserver, SimObserver};
+pub use reconfig::{HotPage, Machine, ReconfigStats, DVFS_NOMINAL, PAGE_MIGRATE_STALL_CYCLES};
 pub use shard::{cross_shard_lookahead, ShardLayout, WindowCounters};
 pub use state::SystemState;
 pub use stats::{ProcStats, SystemStats};

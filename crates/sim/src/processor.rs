@@ -182,6 +182,7 @@ impl Processor {
             l1: self.l1.export_state(),
             l2: self.l2.export_state(),
             gshare: self.gshare.export_state(),
+            core: self.core,
         }
     }
 
@@ -201,6 +202,23 @@ impl Processor {
         self.l1.import_state(&st.l1);
         self.l2.import_state(&st.l2);
         self.gshare.import_state(&st.gshare);
+        self.core = st.core;
+    }
+
+    /// The cycle-cost profile in force.
+    pub fn core_profile(&self) -> CoreConfig {
+        self.core
+    }
+
+    /// Swap the cycle-cost profile (heterogeneous phase-to-core mapping).
+    /// The gshare table is physical hardware whose geometry cannot change
+    /// mid-run, so the new profile must keep it.
+    pub fn set_core_profile(&mut self, core: CoreConfig) {
+        assert_eq!(
+            core.gshare_entries, self.core.gshare_entries,
+            "core profile swap cannot resize the gshare table"
+        );
+        self.core = core;
     }
 }
 

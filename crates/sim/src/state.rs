@@ -13,9 +13,11 @@
 //! layer's RNG draw counter — is captured, so restore-then-run is
 //! bit-identical to running straight through.
 
+use crate::config::CoreConfig;
 use crate::directory::{DirState, DirectoryStats};
 use crate::event::Event;
 use crate::fault::FaultStats;
+use crate::reconfig::ReconfigSnap;
 use crate::stats::ProcStats;
 
 /// One cache's dynamic state (tag/LRU arrays plus counters). Geometry is
@@ -57,6 +59,9 @@ pub struct ProcessorState {
     pub l1: CacheState,
     pub l2: CacheState,
     pub gshare: GshareState,
+    /// The cycle-cost profile in force — dynamic since heterogeneous
+    /// phase-to-core mapping can swap it mid-run.
+    pub core: CoreConfig,
 }
 
 /// Directory contents, sorted by block index for deterministic encoding.
@@ -88,11 +93,19 @@ pub struct MemCtrlState {
     pub total_queue_delay: u64,
 }
 
-/// First-touch page table, sorted by page index (empty for the stateless
-/// placement policies).
+/// Home-map page tables, each sorted by page index. The first-touch table
+/// is empty for the stateless placement policies; overrides and touch
+/// counters are empty unless phase-guided adaptation migrated pages or
+/// enabled hot-page tracking.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HomeMapState {
     pub first_touch: Vec<(u64, usize)>,
+    /// Migration overrides (page → home), consulted before the base policy.
+    pub overrides: Vec<(u64, usize)>,
+    /// Per-page per-node miss counts of the current tracking window.
+    pub touches: Vec<(u64, Vec<u64>)>,
+    /// Whether touch tracking is on.
+    pub track: bool,
 }
 
 /// One lock's owner and FIFO waiter queue.
@@ -129,6 +142,9 @@ pub struct SystemState {
     pub network: NetworkState,
     pub memctrls: Vec<MemCtrlState>,
     pub home: HomeMapState,
+    /// The reconfiguration layer (DVFS levels + counters); default on a
+    /// machine adaptation never touched.
+    pub reconfig: ReconfigSnap,
     /// Locks sorted by id for deterministic encoding.
     pub locks: Vec<LockSnap>,
     pub barrier: BarrierSnap,

@@ -6,6 +6,7 @@ use crate::directory::DirectoryStats;
 use crate::fault::FaultStats;
 use crate::memctrl::MemCtrlStats;
 use crate::network::NetworkStats;
+use crate::reconfig::ReconfigStats;
 
 /// Per-processor counters accumulated over a whole run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -70,6 +71,10 @@ pub struct SystemStats {
     /// Per-fault-class injection counters (all zero under
     /// [`crate::config::FaultPlan::none`]).
     pub faults: FaultStats,
+    /// Reconfiguration counters (all zero on a run adaptation never
+    /// touched — the no-op differential arm).
+    #[serde(default)]
+    pub reconfig: ReconfigStats,
     /// Global cycle at which the last processor finished.
     pub finish_cycle: u64,
 }
@@ -139,6 +144,7 @@ impl SystemStats {
             self.memctrls.iter().map(|m| m.total_queue_delay).sum(),
         );
         self.faults.publish("sim/faults", reg);
+        self.reconfig.publish("sim/adapt", reg);
     }
 }
 

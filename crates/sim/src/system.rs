@@ -17,6 +17,7 @@ use crate::fault::FaultState;
 use crate::memctrl::MemCtrl;
 use crate::network::Network;
 use crate::observer::{IntervalStats, SimObserver};
+use crate::reconfig::{HotPage, Machine, ReconfigSnap, ReconfigStats, DVFS_NOMINAL};
 use crate::processor::Processor;
 use crate::shard::{cross_shard_lookahead, ShardLayout, Scheduler, WindowCounters, WindowEvent, WindowTracker};
 use crate::state::{BarrierSnap, LockSnap, SystemState};
@@ -105,6 +106,13 @@ pub struct System<S: InstructionStream, O: SimObserver> {
     telem: SimTelemetry,
     /// Pre-interned probe ids for the hot-path instrumentation.
     probes: SimProbes,
+    /// Per-node DVFS numerators ([`crate::reconfig::DVFS_NOMINAL`] = full
+    /// speed; scaling by 256/256 is exact identity, so an untouched vector
+    /// leaves the timing model bit-identical).
+    dvfs_num: Vec<u64>,
+    /// Counters for every mid-run reconfiguration (all zero unless the
+    /// adaptation subsystem actuated something).
+    reconfig_stats: ReconfigStats,
 }
 
 impl<S: InstructionStream, O: SimObserver> System<S, O> {
@@ -139,6 +147,8 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             fetched: vec![0; n],
             telem,
             probes,
+            dvfs_num: vec![crate::reconfig::DVFS_NOMINAL; n],
+            reconfig_stats: ReconfigStats::default(),
             cfg,
         }
     }
@@ -443,11 +453,15 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
                 } else {
                     pr.stats.remote_home_misses += 1;
                 }
+                if self.homes.tracking() {
+                    self.homes.note_miss(block, p);
+                }
                 if let Some(victim) = writeback {
                     self.handle_writeback(p, victim);
                 }
                 let raw = self.cfg.l2.latency_cycles + self.coherence_stall(p, block, home, write);
                 let raw = raw + self.fault.slowdown_extra(p, self.procs[p].cycle, raw);
+                let raw = self.dvfs_scale(p, raw);
                 let start = self.procs[p].cycle;
                 let exposed = self.procs[p].charge_mem_stall(raw);
                 // Coherence-transaction span: the exposed stall is exactly
@@ -459,6 +473,24 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             }
         }
         home
+    }
+
+    /// Scale a raw miss stall by node `p`'s DVFS numerator (`num/256`).
+    /// At [`DVFS_NOMINAL`] this returns `raw` untouched without counting
+    /// anything — the inert default costs one predictable branch.
+    #[inline]
+    fn dvfs_scale(&mut self, p: usize, raw: u64) -> u64 {
+        let num = self.dvfs_num[p];
+        if num == DVFS_NOMINAL {
+            return raw;
+        }
+        let scaled = raw * num / DVFS_NOMINAL;
+        if scaled >= raw {
+            self.reconfig_stats.dvfs_extra_cycles += scaled - raw;
+        } else {
+            self.reconfig_stats.dvfs_saved_cycles += raw - scaled;
+        }
+        scaled
     }
 
     /// Deliver one protocol message through the fault layer; returns its
@@ -679,6 +711,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             network: self.net.stats(),
             memctrls: self.memctrls.iter().map(|m| m.stats()).collect(),
             faults: self.fault.stats(),
+            reconfig: self.reconfig_stats,
             finish_cycle: self.procs.iter().map(|p| p.cycle).max().unwrap_or(0),
         };
         // Cold path: mirror the run's headline statistics into the
@@ -766,6 +799,10 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             network: self.net.export_state(),
             memctrls: self.memctrls.iter().map(|m| m.export_state()).collect(),
             home: self.homes.export_state(),
+            reconfig: ReconfigSnap {
+                dvfs_num: self.dvfs_num.clone(),
+                stats: self.reconfig_stats,
+            },
             locks,
             barrier: BarrierSnap {
                 current_id: self.barrier.current_id,
@@ -796,6 +833,12 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
             m.import_state(ms);
         }
         self.homes.import_state(&st.home);
+        if st.reconfig.dvfs_num.is_empty() {
+            self.dvfs_num.iter_mut().for_each(|n| *n = DVFS_NOMINAL);
+        } else {
+            self.dvfs_num.copy_from_slice(&st.reconfig.dvfs_num);
+        }
+        self.reconfig_stats = st.reconfig.stats;
         self.locks.clear();
         for l in &st.locks {
             self.locks.insert(
@@ -816,6 +859,83 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         for p in 0..self.cfg.n_procs {
             self.refresh_key(p);
         }
+    }
+}
+
+/// The reconfigurable-machine view of the system — what a phase-guided
+/// adaptation actuator may touch at a sampling-interval boundary. Every
+/// mutating method is inert at its default setting, so a run that never
+/// reconfigures stays bit-identical to one without the adaptation layer.
+impl<S: InstructionStream, O: SimObserver> Machine for System<S, O> {
+    fn n_procs(&self) -> usize {
+        self.cfg.n_procs
+    }
+
+    fn core_profile(&self, p: usize) -> crate::config::CoreConfig {
+        self.procs[p].core_profile()
+    }
+
+    fn set_core_profile(&mut self, p: usize, profile: crate::config::CoreConfig) {
+        if self.procs[p].core_profile() != profile {
+            self.procs[p].set_core_profile(profile);
+            self.reconfig_stats.core_switches += 1;
+        }
+    }
+
+    fn dvfs_level(&self, p: usize) -> u64 {
+        self.dvfs_num[p]
+    }
+
+    fn set_dvfs_level(&mut self, p: usize, num: u64) {
+        assert!(
+            (64..=1024).contains(&num),
+            "DVFS numerator {num} outside the 0.25x–4x envelope"
+        );
+        if self.dvfs_num[p] != num {
+            self.dvfs_num[p] = num;
+            self.reconfig_stats.dvfs_epochs += 1;
+        }
+    }
+
+    fn enable_touch_tracking(&mut self) {
+        self.homes.enable_touch_tracking();
+    }
+
+    fn hot_pages(&self, k: usize) -> Vec<HotPage> {
+        self.homes.hot_pages(k)
+    }
+
+    fn reset_touches(&mut self) {
+        self.homes.reset_touches();
+    }
+
+    fn migrate_page(&mut self, page: u64, to: usize) -> bool {
+        assert!(to < self.cfg.n_procs, "migration target out of range");
+        if self.homes.page_home(page) == Some(to) {
+            return false;
+        }
+        self.homes.set_page_home(page, to);
+        self.reconfig_stats.migrations += 1;
+        // TLB shootdown: every running processor stalls while the page
+        // moves. Blocked processors resynchronize at their release point
+        // and finished ones are past their last event; both are skipped.
+        let stall = crate::reconfig::PAGE_MIGRATE_STALL_CYCLES;
+        for p in 0..self.cfg.n_procs {
+            if !self.procs[p].finished && !self.procs[p].blocked {
+                self.procs[p].cycle += stall;
+                self.reconfig_stats.migration_stall_cycles += stall;
+                self.refresh_key(p);
+            }
+        }
+        true
+    }
+
+    fn proc_mem_stall(&self, p: usize) -> u64 {
+        self.procs[p].stats.mem_stall_cycles
+    }
+
+    fn reconfig_stats(&self) -> ReconfigStats {
+        self.reconfig_stats
     }
 }
 

@@ -1,4 +1,4 @@
-//! Versioned, deterministic binary checkpoint codec (`DSMCKPT3`).
+//! Versioned, deterministic binary checkpoint codec (`DSMCKPT4`).
 //!
 //! A checkpoint is the pair (simulator state, detector-collector state) at a
 //! global interval boundary, plus the metadata needed to rebuild the machine
@@ -14,9 +14,13 @@
 //! buffer is reserved (the same guard idiom as the harness trace codec), and
 //! all enum tags and booleans are range-checked.
 
+use dsm_adapt::{
+    AdaptSnap, Decision, DecisionKind, ObservedInterval, PhaseSnap, PhaseStateSnap,
+};
 use dsm_phase::ddv::{DdvSnap, FrequencySnap};
 use dsm_phase::detector::{CollectorState, DetectorGeometry, IntervalRecord};
-use dsm_sim::config::{FaultPlan, RetryPolicy};
+use dsm_sim::config::{CoreConfig, FaultPlan, RetryPolicy};
+use dsm_sim::reconfig::{ReconfigSnap, ReconfigStats};
 use dsm_sim::directory::DirState;
 use dsm_sim::event::Event;
 use dsm_sim::state::{
@@ -32,8 +36,12 @@ use dsm_workloads::{App, Scale};
 /// past 64 nodes: the barrier arrival bitmap became multi-word, the DDV
 /// snapshot carries the O(n) aggregate-gather state (`G`, `S`, round
 /// counter), and the metadata records the shard count the run was captured
-/// under (0 = serial core).
-pub const MAGIC: &[u8; 8] = b"DSMCKPT3";
+/// under (0 = serial core). Version 4 carries the adaptation subsystem:
+/// per-processor core profiles, home-map migration overrides and touch
+/// counters, the DVFS/reconfiguration snapshot, and an optional
+/// [`AdaptSnap`] so a checkpoint taken mid-tuning resumes the §II protocol
+/// bit-exactly.
+pub const MAGIC: &[u8; 8] = b"DSMCKPT4";
 
 /// The version-independent format prefix shared by every `DSMCKPT` version.
 const MAGIC_FAMILY: &[u8; 7] = b"DSMCKPT";
@@ -62,7 +70,7 @@ pub enum CkptError {
 impl std::fmt::Display for CkptError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CkptError::BadMagic => write!(f, "not a DSMCKPT3 checkpoint (bad magic)"),
+            CkptError::BadMagic => write!(f, "not a DSMCKPT4 checkpoint (bad magic)"),
             CkptError::UnsupportedVersion { version } => {
                 write!(f, "unsupported DSMCKPT version {:?}", *version as char)
             }
@@ -102,12 +110,18 @@ pub struct CheckpointMeta {
     pub shards: usize,
 }
 
-/// A complete checkpoint: metadata, simulator state, collector state.
+/// A complete checkpoint: metadata, simulator state, collector state, and
+/// — when the capturing run was an adaptation session — the tuning-protocol
+/// state needed to resume mid-tuning.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     pub meta: CheckpointMeta,
     pub system: SystemState,
     pub collector: CollectorState,
+    /// `Some` iff the checkpoint was taken inside an
+    /// [`AdaptSession`](dsm_adapt::AdaptSession); plain captures carry
+    /// `None`.
+    pub adapt: Option<AdaptSnap>,
 }
 
 // ---------------------------------------------------------------------------
@@ -345,6 +359,12 @@ fn put_proc(w: &mut W, p: &ProcessorState) {
     w.u64(p.gshare.history);
     w.u64(p.gshare.predictions);
     w.u64(p.gshare.mispredictions);
+    // Version 4: the core profile in force (heterogeneous actuator).
+    w.u64(p.core.commit_width as u64);
+    w.u64(p.core.fpu_units as u64);
+    w.u64(p.core.mispredict_penalty);
+    w.u64(p.core.gshare_entries as u64);
+    w.u64(p.core.stall_exposure_num);
 }
 
 fn get_proc(r: &mut R) -> D<ProcessorState> {
@@ -398,6 +418,13 @@ fn get_proc(r: &mut R) -> D<ProcessorState> {
             predictions: r.u64()?,
             mispredictions: r.u64()?,
         },
+        core: CoreConfig {
+            commit_width: r.u32_checked("core commit_width")?,
+            fpu_units: r.u32_checked("core fpu_units")?,
+            mispredict_penalty: r.u64()?,
+            gshare_entries: r.usize_checked("core gshare_entries")?,
+            stall_exposure_num: r.u64()?,
+        },
     })
 }
 
@@ -443,6 +470,18 @@ fn put_system(w: &mut W, s: &SystemState) {
         w.u64(page);
         w.u64(node as u64);
     }
+    // Version 4: migration overrides and the hot-page touch window.
+    w.u64(s.home.overrides.len() as u64);
+    for &(page, node) in &s.home.overrides {
+        w.u64(page);
+        w.u64(node as u64);
+    }
+    w.u64(s.home.touches.len() as u64);
+    for (page, counts) in &s.home.touches {
+        w.u64(*page);
+        w.vec_u64(counts);
+    }
+    w.boolean(s.home.track);
     w.u64(s.locks.len() as u64);
     for l in &s.locks {
         w.u64(l.id as u64);
@@ -480,6 +519,19 @@ fn put_system(w: &mut W, s: &SystemState) {
     }
     w.u64(s.events_executed);
     w.vec_u64(&s.fetched);
+    // Version 4: DVFS levels and reconfiguration counters.
+    w.vec_u64(&s.reconfig.dvfs_num);
+    let rs = &s.reconfig.stats;
+    for v in [
+        rs.migrations,
+        rs.migration_stall_cycles,
+        rs.dvfs_epochs,
+        rs.dvfs_extra_cycles,
+        rs.dvfs_saved_cycles,
+        rs.core_switches,
+    ] {
+        w.u64(v);
+    }
 }
 
 fn get_system(r: &mut R) -> D<SystemState> {
@@ -536,6 +588,21 @@ fn get_system(r: &mut R) -> D<SystemState> {
         let node = r.usize_checked("first-touch node")?;
         first_touch.push((page, node));
     }
+    let n_ov = r.len(16)?;
+    let mut overrides = Vec::with_capacity(n_ov);
+    for _ in 0..n_ov {
+        let page = r.u64()?;
+        let node = r.usize_checked("override node")?;
+        overrides.push((page, node));
+    }
+    let n_touch = r.len(16)?;
+    let mut touches = Vec::with_capacity(n_touch);
+    for _ in 0..n_touch {
+        let page = r.u64()?;
+        let counts = r.vec_u64()?;
+        touches.push((page, counts));
+    }
+    let track = r.boolean("touch tracking")?;
     let n_locks = r.len(17)?;
     let locks = (0..n_locks)
         .map(|_| {
@@ -589,18 +656,33 @@ fn get_system(r: &mut R) -> D<SystemState> {
             })
         })
         .collect::<D<Vec<_>>>()?;
+    let events_executed = r.u64()?;
+    let fetched = r.vec_u64()?;
+    let dvfs_num = r.vec_u64()?;
+    let reconfig = ReconfigSnap {
+        dvfs_num,
+        stats: ReconfigStats {
+            migrations: r.u64()?,
+            migration_stall_cycles: r.u64()?,
+            dvfs_epochs: r.u64()?,
+            dvfs_extra_cycles: r.u64()?,
+            dvfs_saved_cycles: r.u64()?,
+            core_switches: r.u64()?,
+        },
+    };
     let st = SystemState {
         procs,
         directory: DirectoryState { entries, stats },
         network,
         memctrls,
-        home: HomeMapState { first_touch },
+        home: HomeMapState { first_touch, overrides, touches, track },
+        reconfig,
         locks,
         barrier,
         fault,
         pending,
-        events_executed: r.u64()?,
-        fetched: r.vec_u64()?,
+        events_executed,
+        fetched,
     };
     let n = st.procs.len();
     if n == 0
@@ -611,6 +693,11 @@ fn get_system(r: &mut R) -> D<SystemState> {
         || st.memctrls.len() != n
     {
         return Err(CkptError::BadValue { what: "per-processor vector lengths" });
+    }
+    if !(st.reconfig.dvfs_num.is_empty() || st.reconfig.dvfs_num.len() == n)
+        || st.home.touches.iter().any(|(_, c)| c.len() != n)
+    {
+        return Err(CkptError::BadValue { what: "reconfiguration vector lengths" });
     }
     Ok(st)
 }
@@ -712,8 +799,120 @@ fn get_collector(r: &mut R, n_procs: usize) -> D<CollectorState> {
     Ok(c)
 }
 
+fn put_adapt(w: &mut W, a: &AdaptSnap) {
+    w.u64(a.target);
+    w.u64(a.processed);
+    w.u64(a.phases.len() as u64);
+    for p in &a.phases {
+        w.u64(p.phase as u64);
+        match p.state {
+            PhaseStateSnap::Tuning { config, trials_left, best_config, best_score, acc, acc_n } => {
+                w.u8(0);
+                w.u64(config);
+                w.u64(trials_left);
+                w.u64(best_config);
+                w.f64(best_score);
+                w.f64(acc);
+                w.u64(acc_n);
+            }
+            PhaseStateSnap::Locked { config } => {
+                w.u8(1);
+                w.u64(config);
+            }
+        }
+    }
+    w.u64(a.decisions.len() as u64);
+    for d in &a.decisions {
+        w.u64(d.interval);
+        w.u64(d.phase as u64);
+        match d.kind {
+            DecisionKind::Trial { config } => {
+                w.u8(0);
+                w.u64(config as u64);
+            }
+            DecisionKind::Lock { config } => {
+                w.u8(1);
+                w.u64(config as u64);
+            }
+        }
+    }
+    w.u64(a.stream.len() as u64);
+    for o in &a.stream {
+        w.u64(o.index);
+        w.u64(o.phase as u64);
+        w.f64(o.cpi);
+        w.boolean(o.degraded);
+    }
+    w.u64(a.retunes);
+    w.vec_u64(&a.actuator);
+}
+
+fn get_adapt(r: &mut R) -> D<AdaptSnap> {
+    let target = r.u64()?;
+    let processed = r.u64()?;
+    let n_phases = r.len(17)?;
+    let phases = (0..n_phases)
+        .map(|_| {
+            let phase = r.u32_checked("adapt phase id")?;
+            let state = match r.u8()? {
+                0 => PhaseStateSnap::Tuning {
+                    config: r.u64()?,
+                    trials_left: r.u64()?,
+                    best_config: r.u64()?,
+                    best_score: r.f64()?,
+                    acc: r.f64()?,
+                    acc_n: r.u64()?,
+                },
+                1 => PhaseStateSnap::Locked { config: r.u64()? },
+                t => return Err(CkptError::BadTag { what: "adapt phase state", tag: t as u64 }),
+            };
+            Ok(PhaseSnap { phase, state })
+        })
+        .collect::<D<Vec<_>>>()?;
+    let n_dec = r.len(25)?;
+    let decisions = (0..n_dec)
+        .map(|_| {
+            let interval = r.u64()?;
+            let phase = r.u32_checked("decision phase id")?;
+            let kind = match r.u8()? {
+                0 => DecisionKind::Trial { config: r.usize_checked("trial config")? },
+                1 => DecisionKind::Lock { config: r.usize_checked("locked config")? },
+                t => return Err(CkptError::BadTag { what: "decision kind", tag: t as u64 }),
+            };
+            Ok(Decision { interval, phase, kind })
+        })
+        .collect::<D<Vec<_>>>()?;
+    let n_stream = r.len(25)?;
+    let stream = (0..n_stream)
+        .map(|_| {
+            Ok(ObservedInterval {
+                index: r.u64()?,
+                phase: r.u32_checked("observed phase id")?,
+                cpi: r.f64()?,
+                degraded: r.boolean("observed degraded")?,
+            })
+        })
+        .collect::<D<Vec<_>>>()?;
+    let a = AdaptSnap {
+        target,
+        processed,
+        phases,
+        decisions,
+        stream,
+        retunes: r.u64()?,
+        actuator: r.vec_u64()?,
+    };
+    // `processed` counts proc-0 records consumed, which legitimately runs
+    // ahead of the global minimum boundary `target` — only the stream-length
+    // pairing is an invariant.
+    if a.processed as usize != a.stream.len() {
+        return Err(CkptError::BadValue { what: "adapt stream length" });
+    }
+    Ok(a)
+}
+
 impl Checkpoint {
-    /// Serialize to the `DSMCKPT3` byte format. Deterministic: the same
+    /// Serialize to the `DSMCKPT4` byte format. Deterministic: the same
     /// checkpoint always encodes to the same bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = W { out: Vec::with_capacity(4096) };
@@ -751,10 +950,17 @@ impl Checkpoint {
         w.u64(m.shards as u64);
         put_system(&mut w, &self.system);
         put_collector(&mut w, &self.collector);
+        match &self.adapt {
+            None => w.u8(0),
+            Some(a) => {
+                w.u8(1);
+                put_adapt(&mut w, a);
+            }
+        }
         w.out
     }
 
-    /// Decode a `DSMCKPT3` buffer. Total: any input yields `Ok` or a typed
+    /// Decode a `DSMCKPT4` buffer. Total: any input yields `Ok` or a typed
     /// [`CkptError`]; never panics, never over-allocates on hostile lengths.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
         if bytes.len() < MAGIC.len() || &bytes[..MAGIC_FAMILY.len()] != MAGIC_FAMILY {
@@ -815,6 +1021,11 @@ impl Checkpoint {
             return Err(CkptError::BadValue { what: "system sized for a different machine" });
         }
         let collector = get_collector(&mut r, n_procs)?;
+        let adapt = match r.u8()? {
+            0 => None,
+            1 => Some(get_adapt(&mut r)?),
+            t => return Err(CkptError::BadTag { what: "adapt presence", tag: t as u64 }),
+        };
         if !r.b.is_empty() {
             return Err(CkptError::TrailingBytes);
         }
@@ -833,6 +1044,7 @@ impl Checkpoint {
             },
             system,
             collector,
+            adapt,
         })
     }
 }
@@ -870,6 +1082,13 @@ mod tests {
                 predictions: 60,
                 mispredictions: 4,
             },
+            core: CoreConfig {
+                commit_width: 2 + p as u32,
+                fpu_units: 2,
+                mispredict_penalty: 8,
+                gshare_entries: 4,
+                stall_exposure_num: 110,
+            },
         };
         Checkpoint {
             meta: CheckpointMeta {
@@ -903,7 +1122,23 @@ mod tests {
                     MemCtrlState { busy_until: vec![50, 60], requests: 7, total_queue_delay: 11 },
                     MemCtrlState { busy_until: vec![0, 0], requests: 0, total_queue_delay: 0 },
                 ],
-                home: HomeMapState { first_touch: vec![(1, 0), (5, 1)] },
+                home: HomeMapState {
+                    first_touch: vec![(1, 0), (5, 1)],
+                    overrides: vec![(5, 0)],
+                    touches: vec![(1, vec![3, 9]), (5, vec![8, 0])],
+                    track: true,
+                },
+                reconfig: ReconfigSnap {
+                    dvfs_num: vec![224, 288],
+                    stats: ReconfigStats {
+                        migrations: 1,
+                        migration_stall_cycles: 48,
+                        dvfs_epochs: 2,
+                        dvfs_extra_cycles: 0,
+                        dvfs_saved_cycles: 0,
+                        core_switches: 1,
+                    },
+                },
                 locks: vec![LockSnap { id: 0, owner: Some(1), waiters: vec![0] }],
                 barrier: BarrierSnap {
                     current_id: Some(3),
@@ -949,6 +1184,39 @@ mod tests {
                     vec![],
                 ],
             },
+            adapt: None,
+        }
+    }
+
+    fn sample_adapt() -> AdaptSnap {
+        AdaptSnap {
+            target: 4,
+            processed: 3,
+            phases: vec![
+                PhaseSnap {
+                    phase: 0,
+                    state: PhaseStateSnap::Tuning {
+                        config: 2,
+                        trials_left: 1,
+                        best_config: 1,
+                        best_score: 1.75,
+                        acc: 0.5,
+                        acc_n: 0,
+                    },
+                },
+                PhaseSnap { phase: 3, state: PhaseStateSnap::Locked { config: 1 } },
+            ],
+            decisions: vec![
+                Decision { interval: 0, phase: 0, kind: DecisionKind::Trial { config: 0 } },
+                Decision { interval: 2, phase: 3, kind: DecisionKind::Lock { config: 1 } },
+            ],
+            stream: vec![
+                ObservedInterval { index: 0, phase: 0, cpi: 1.5, degraded: false },
+                ObservedInterval { index: 1, phase: 0, cpi: 1.25, degraded: true },
+                ObservedInterval { index: 2, phase: 3, cpi: 2.0, degraded: false },
+            ],
+            retunes: 2,
+            actuator: vec![7, 9],
         }
     }
 
@@ -960,6 +1228,43 @@ mod tests {
         let back = Checkpoint::decode(&bytes).unwrap();
         assert_eq!(back, ck);
         assert_eq!(back.encode(), bytes, "re-encoding must reproduce the bytes");
+    }
+
+    #[test]
+    fn roundtrip_with_adapt_section() {
+        let mut ck = sample_checkpoint();
+        ck.adapt = Some(sample_adapt());
+        let bytes = ck.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.encode(), bytes);
+        // Every truncation of the adapt tail still errors cleanly.
+        let plain_len = { sample_checkpoint().encode().len() };
+        for cut in plain_len..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_adapt_stream_rejected() {
+        let mut ck = sample_checkpoint();
+        let mut a = sample_adapt();
+        a.stream.pop(); // processed no longer matches the stream length
+        ck.adapt = Some(a);
+        assert_eq!(
+            Checkpoint::decode(&ck.encode()),
+            Err(CkptError::BadValue { what: "adapt stream length" })
+        );
+    }
+
+    #[test]
+    fn mismatched_dvfs_vector_rejected() {
+        let mut ck = sample_checkpoint();
+        ck.system.reconfig.dvfs_num = vec![256]; // machine has 2 procs
+        assert_eq!(
+            Checkpoint::decode(&ck.encode()),
+            Err(CkptError::BadValue { what: "reconfiguration vector lengths" })
+        );
     }
 
     #[test]
@@ -978,6 +1283,7 @@ mod tests {
             (&b"DSMCKPT1"[..], b'1'),
             (b"DSMCKPT1\x00\x01\x02\x03", b'1'),
             (b"DSMCKPT2\x00\x01\x02\x03", b'2'),
+            (b"DSMCKPT3\x00\x01\x02\x03", b'3'),
             (b"DSMCKPT9garbage", b'9'),
         ] {
             assert_eq!(

@@ -1,13 +1,15 @@
-//! Property tests for the `DSMCKPT3` checkpoint codec: decoding is *total*
+//! Property tests for the `DSMCKPT4` checkpoint codec: decoding is *total*
 //! (any input — random bytes, corrupted checkpoints, truncations — yields a
 //! typed error or a valid checkpoint, never a panic), and the encoding is
 //! canonical (whatever decodes re-encodes to the identical bytes).
 
 use proptest::prelude::*;
 
+use dsm_adapt::{AdaptSnap, Decision, DecisionKind, ObservedInterval, PhaseSnap, PhaseStateSnap};
 use dsm_phase::ddv::{DdvSnap, FrequencySnap};
 use dsm_phase::detector::{CollectorState, DetectorGeometry, IntervalRecord};
-use dsm_sim::config::FaultPlan;
+use dsm_sim::config::{CoreConfig, FaultPlan};
+use dsm_sim::reconfig::{ReconfigSnap, ReconfigStats};
 use dsm_sim::directory::{DirState, DirectoryStats};
 use dsm_sim::event::Event;
 use dsm_sim::state::{
@@ -68,6 +70,13 @@ fn synth(seed: u64, n_procs: usize, n_recs: usize) -> Checkpoint {
                 history: g.u(),
                 predictions: g.u(),
                 mispredictions: g.u(),
+            },
+            core: CoreConfig {
+                commit_width: 1 + (g.u() % 8) as u32,
+                fpu_units: 1 + (g.u() % 4) as u32,
+                mispredict_penalty: 1 + g.u() % 20,
+                gshare_entries: 4,
+                stall_exposure_num: 50 + g.u() % 100,
             },
         })
         .collect();
@@ -156,6 +165,11 @@ fn synth(seed: u64, n_procs: usize, n_recs: usize) -> Checkpoint {
                 first_touch: (0..(g.u() % 5))
                     .map(|p| (p, (g.u() % n_procs as u64) as usize))
                     .collect(),
+                overrides: (0..(g.u() % 4))
+                    .map(|p| (p + 100, (g.u() % n_procs as u64) as usize))
+                    .collect(),
+                touches: (0..(g.u() % 3)).map(|p| (p + 200, g.vec(n_procs))).collect(),
+                track: g.u().is_multiple_of(2),
             },
             locks: (0..(g.u() % 3))
                 .map(|id| LockSnap {
@@ -192,6 +206,17 @@ fn synth(seed: u64, n_procs: usize, n_recs: usize) -> Checkpoint {
             pending,
             events_executed: g.u(),
             fetched: g.vec(n_procs),
+            reconfig: ReconfigSnap {
+                dvfs_num: if g.u().is_multiple_of(2) { Vec::new() } else { g.vec(n_procs) },
+                stats: ReconfigStats {
+                    migrations: g.u(),
+                    migration_stall_cycles: g.u(),
+                    dvfs_epochs: g.u(),
+                    dvfs_extra_cycles: g.u(),
+                    dvfs_saved_cycles: g.u(),
+                    core_switches: g.u(),
+                },
+            },
         },
         collector: CollectorState {
             bbv: (0..n_procs).map(|_| g.vec(4)).collect(),
@@ -212,6 +237,58 @@ fn synth(seed: u64, n_procs: usize, n_recs: usize) -> Checkpoint {
             },
             records,
         },
+        adapt: if g.u().is_multiple_of(2) { None } else { Some(synth_adapt(&mut g, n_procs)) },
+    }
+}
+
+/// Build a structurally valid mid-tuning adaptation snapshot (the decode
+/// invariant requires `processed == stream.len()` and `processed <= target`).
+fn synth_adapt(g: &mut Gen, n_procs: usize) -> AdaptSnap {
+    let processed = g.u() % 6;
+    let stream: Vec<ObservedInterval> = (0..processed)
+        .map(|i| ObservedInterval {
+            index: i,
+            phase: (g.u() % 4) as u32,
+            cpi: (g.u() % 10_000) as f64 / 100.0,
+            degraded: g.u().is_multiple_of(5),
+        })
+        .collect();
+    let phases: Vec<PhaseSnap> = (0..(g.u() % 3))
+        .map(|p| PhaseSnap {
+            phase: p as u32,
+            state: if g.u().is_multiple_of(2) {
+                PhaseStateSnap::Locked { config: g.u() % 4 }
+            } else {
+                PhaseStateSnap::Tuning {
+                    config: g.u() % 4,
+                    trials_left: g.u() % 3,
+                    best_config: g.u() % 4,
+                    best_score: (g.u() % 1000) as f64 / 10.0,
+                    acc: (g.u() % 1000) as f64 / 10.0,
+                    acc_n: g.u() % 8,
+                }
+            },
+        })
+        .collect();
+    let decisions: Vec<Decision> = (0..(g.u() % 4))
+        .map(|i| Decision {
+            interval: i,
+            phase: (g.u() % 4) as u32,
+            kind: if g.u().is_multiple_of(2) {
+                DecisionKind::Trial { config: (g.u() % 4) as usize }
+            } else {
+                DecisionKind::Lock { config: (g.u() % 4) as usize }
+            },
+        })
+        .collect();
+    AdaptSnap {
+        target: processed + g.u() % 4,
+        processed,
+        phases,
+        decisions,
+        stream,
+        retunes: g.u() % 8,
+        actuator: g.vec(n_procs),
     }
 }
 

@@ -9,6 +9,11 @@ use crate::inputs::Scale;
 pub trait Workload: ChunkGen {
     fn name(&self) -> &'static str;
     fn input_desc(&self) -> String;
+    /// Every shared-data region the workload will touch, in allocation
+    /// order. Placement studies use this to model alternative initial
+    /// homings (e.g. the serial-initialization first-touch pathology in
+    /// [`crate::serial_init`]) without changing the compute stream.
+    fn footprint(&self) -> Vec<crate::mem::Region>;
 }
 
 impl ChunkGen for Box<dyn Workload> {
@@ -17,6 +22,18 @@ impl ChunkGen for Box<dyn Workload> {
     }
     fn fill(&mut self, proc: usize, buf: &mut Vec<Event>) {
         (**self).fill(proc, buf)
+    }
+}
+
+impl Workload for Box<dyn Workload> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn input_desc(&self) -> String {
+        (**self).input_desc()
+    }
+    fn footprint(&self) -> Vec<crate::mem::Region> {
+        (**self).footprint()
     }
 }
 

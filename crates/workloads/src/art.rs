@@ -190,6 +190,12 @@ impl Workload for Art {
     fn input_desc(&self) -> String {
         crate::inputs::AppInput::Art(self.input).describe()
     }
+    fn footprint(&self) -> Vec<Region> {
+        let mut f = self.weights.clone();
+        f.extend_from_slice(&self.image);
+        f.push(self.scoreboard);
+        f
+    }
 }
 
 #[cfg(test)]

@@ -202,6 +202,13 @@ impl Workload for Equake {
     fn input_desc(&self) -> String {
         crate::inputs::AppInput::Equake(self.input).describe()
     }
+    fn footprint(&self) -> Vec<Region> {
+        let mut f = self.matrix.clone();
+        f.extend_from_slice(&self.disp);
+        f.extend_from_slice(&self.vel);
+        f.push(self.sum);
+        f
+    }
 }
 
 #[cfg(test)]

@@ -270,6 +270,12 @@ impl Workload for Fmm {
     fn input_desc(&self) -> String {
         crate::inputs::AppInput::Fmm(self.input).describe()
     }
+    fn footprint(&self) -> Vec<Region> {
+        let mut f = self.particles.clone();
+        f.extend_from_slice(&self.multipoles);
+        f.extend_from_slice(&self.tree);
+        f
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@
 //!   exchange, vector updates, early-timestep source application, global
 //!   reductions);
 //! * [`synth`] — synthetic phased workloads with ground-truth labels for
-//!   validating detectors and the CoV machinery.
+//!   validating detectors and the CoV machinery;
+//! * [`serial_init`] — opt-in serial-initialization prologue reproducing
+//!   the first-touch placement pathology for the placement studies.
 
 pub mod app;
 pub mod art;
@@ -33,7 +35,9 @@ pub mod inputs;
 pub mod lu;
 pub mod mem;
 pub mod ocean;
+pub mod serial_init;
 pub mod synth;
 
 pub use app::{make_stream, App, Workload};
+pub use serial_init::{make_serial_init_stream, SerialInit};
 pub use inputs::{AppInput, Scale};

@@ -219,6 +219,9 @@ impl Workload for Lu {
     fn input_desc(&self) -> String {
         crate::inputs::AppInput::Lu(self.input).describe()
     }
+    fn footprint(&self) -> Vec<Region> {
+        self.blocks.clone()
+    }
 }
 
 #[cfg(test)]

@@ -195,6 +195,9 @@ impl Workload for Ocean {
             t = self.input.timesteps
         )
     }
+    fn footprint(&self) -> Vec<Region> {
+        self.levels.iter().flatten().copied().collect()
+    }
 }
 
 #[cfg(test)]

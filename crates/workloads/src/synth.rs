@@ -144,6 +144,9 @@ impl Workload for SquareWave {
             self.total_chunks
         )
     }
+    fn footprint(&self) -> Vec<Region> {
+        self.regions.iter().flatten().copied().collect()
+    }
 }
 
 #[cfg(test)]
