@@ -22,7 +22,7 @@
 //! * [`session`] — the closed loop: simulate an interval, classify it
 //!   online, feed the protocol, reconfigure before the next interval. A
 //!   [`NoopActuator`] session is bit-identical to a plain capture;
-//!   [`AdaptSnap`] rides in `DSMCKPT4` so a checkpoint taken mid-tuning
+//!   [`AdaptSnap`] rides in `DSMCKPT5` so a checkpoint taken mid-tuning
 //!   resumes bit-exactly.
 //!
 //! Degraded intervals — where the availability model says a remote DDV row

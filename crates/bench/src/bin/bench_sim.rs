@@ -135,6 +135,14 @@ fn print_summary(doc: &Json) {
     {
         println!("steady-state allocs per classified interval: {a}");
     }
+    if let Some(ms) = doc
+        .get("current")
+        .and_then(|c| c.get("diagnose"))
+        .and_then(|d| d.get("engine_ms"))
+        .and_then(Json::as_f64)
+    {
+        println!("diagnosis engine pass: {ms} ms (16-node straggler fleet)");
+    }
     if let Some(points) = doc
         .get("current")
         .and_then(|c| c.get("scaling"))
@@ -247,6 +255,19 @@ fn check(path: &Path) -> ExitCode {
             }
         }
         None => errors.push("missing `current.checkpoint_roundtrip` group".into()),
+    }
+    // The diagnose group is required in `current` only (baselines recorded
+    // before the diagnosis subsystem may predate it).
+    match doc.get("current").and_then(|c| c.get("diagnose")) {
+        Some(dg) => {
+            for key in ["engine_ms", "n_streams", "intervals"] {
+                match dg.get(key).and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    _ => errors.push(format!("`current.diagnose.{key}` missing or non-positive")),
+                }
+            }
+        }
+        None => errors.push("missing `current.diagnose` group".into()),
     }
     // The scaling curve is required in `current` only (baselines recorded
     // before the sharded core may predate it): every SCALE_PROCS point,

@@ -197,6 +197,48 @@ pub fn measure_checkpoint_roundtrip(samples: usize) -> CkptRoundtrip {
     }
 }
 
+/// Diagnosis-engine throughput: wall-clock of one full blind diagnostic
+/// pass (distance matrix → clustering → flagging → attribution) over the
+/// classified streams of a 16-processor straggler capture.
+#[derive(Debug, Clone, Copy)]
+pub struct DiagnoseBench {
+    /// Milliseconds for one `dsm_diagnose::diagnose` pass.
+    pub engine_ms: f64,
+    /// Fleet size the pass diagnosed.
+    pub n_streams: u64,
+    /// Total classified intervals across the fleet (deterministic).
+    pub intervals: u64,
+}
+
+/// Measure [`DiagnoseBench`] (minimum over `samples`). The capture and
+/// classification are untimed setup — the figure isolates the engine, which
+/// is the part the serve path runs per diagnosis probe.
+pub fn measure_diagnose(samples: usize) -> DiagnoseBench {
+    use dsm_harness::diagnose::{
+        capture_diag, classified_streams, node_telemetry, report_config, straggler_plan,
+    };
+    let config = ExperimentConfig::test(App::Lu, 16);
+    let golden = capture_diag(config, None);
+    let (plan, _, _) = straggler_plan(App::Lu, &golden);
+    let faulty = capture_diag(config, Some(plan));
+    let streams = classified_streams(&faulty);
+    let telemetry = node_telemetry(&faulty, &streams);
+    let cfg = report_config();
+
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        let d = dsm_diagnose::diagnose(&cfg, &streams, Some(&telemetry));
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert!(!d.is_uniform(), "the straggler capture must diagnose as non-uniform");
+    }
+    DiagnoseBench {
+        engine_ms: best * 1e3,
+        n_streams: streams.len() as u64,
+        intervals: streams.iter().map(|s| s.len() as u64).sum(),
+    }
+}
+
 fn hypercube_dist(n: usize) -> Vec<f64> {
     let mut dist = vec![0.0; n * n];
     for i in 0..n {
@@ -226,6 +268,8 @@ pub struct Measurement {
     /// Checkpoint snapshot/restore throughput (see
     /// [`measure_checkpoint_roundtrip`]).
     pub checkpoint_roundtrip: CkptRoundtrip,
+    /// Diagnosis-engine pass time (see [`measure_diagnose`]).
+    pub diagnose: DiagnoseBench,
 }
 
 /// Run the whole measurement suite (several seconds at test scale).
@@ -252,6 +296,7 @@ pub fn measure(samples: usize) -> Measurement {
         pipeline_ms,
         allocs_per_interval: steady_state_allocs_per_interval(),
         checkpoint_roundtrip: measure_checkpoint_roundtrip(samples),
+        diagnose: measure_diagnose(samples),
     }
 }
 
@@ -283,6 +328,13 @@ impl Measurement {
                         round3(self.checkpoint_roundtrip.decode_restore_ms),
                     )
                     .field("bytes", self.checkpoint_roundtrip.bytes),
+            )
+            .field(
+                "diagnose",
+                Json::obj()
+                    .field("engine_ms", round3(self.diagnose.engine_ms))
+                    .field("n_streams", self.diagnose.n_streams)
+                    .field("intervals", self.diagnose.intervals),
             )
     }
 }
@@ -324,6 +376,7 @@ mod tests {
                 decode_restore_ms: 0.2,
                 bytes: 1024,
             },
+            diagnose: DiagnoseBench { engine_ms: 0.5, n_streams: 16, intervals: 300 },
         };
         let j = m.to_json("x");
         for key in ["label", "events", "events_per_sec", "pipeline_ms", "allocs_per_interval"] {
@@ -332,6 +385,10 @@ mod tests {
         let ck = j.get("checkpoint_roundtrip").expect("checkpoint group");
         for key in ["encode_ms", "decode_restore_ms", "bytes"] {
             assert!(ck.get(key).is_some(), "missing checkpoint_roundtrip.{key}");
+        }
+        let dg = j.get("diagnose").expect("diagnose group");
+        for key in ["engine_ms", "n_streams", "intervals"] {
+            assert!(dg.get(key).is_some(), "missing diagnose.{key}");
         }
     }
 

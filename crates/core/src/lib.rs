@@ -30,6 +30,9 @@
 //!   (conditional branch counts).
 //! * [`context`] — save/restore of detector state across context switches
 //!   (the paper's multiprogramming note in §III-B).
+//! * [`stream`] — [`PhaseStream`]: one node's classified intervals in
+//!   contiguous index order, the shared unit the offline harness pass and
+//!   the serve-side diagnosis sink both consume (`dsm-diagnose`).
 
 pub mod bbv;
 pub mod branch_count;
@@ -41,6 +44,7 @@ pub mod footprint;
 pub mod predictor;
 pub mod shard_collector;
 pub mod signature;
+pub mod stream;
 pub mod telem;
 pub mod working_set;
 
@@ -53,6 +57,7 @@ pub use detector::{
 pub use footprint::{FootprintTable, Match};
 pub use shard_collector::{DrainCounters, ShardedCollector};
 pub use signature::{ClassifierBank, IntervalSignature, SignatureExtractor};
+pub use stream::{PhaseStream, StreamError};
 pub use predictor::{LastPhasePredictor, Markov2Predictor, PhasePredictor, RlePredictor};
 
 /// Default accumulator size (32 in the paper: "a 32-entry accumulator and a

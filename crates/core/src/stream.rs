@@ -1,0 +1,200 @@
+//! Per-node classified-interval streams — the shared substrate of the
+//! cross-node diagnostics layer.
+//!
+//! Both the offline trace pass (`dsm-harness`) and the streaming server
+//! (`dsm-serve`) produce sequences of [`ClassifiedInterval`]s per node.
+//! Until now each consumer threaded ad-hoc `Vec<ClassifiedInterval>`s and
+//! re-derived the invariants it needed; [`PhaseStream`] makes the contract
+//! explicit: one node, intervals in index order, contiguous, every gap
+//! detected at the point of ingest rather than deep inside an analysis.
+//!
+//! The stream is windowable from the front ([`PhaseStream::evict_to`]) so
+//! an online consumer can bound its memory while the retained suffix stays
+//! index-aligned — the diagnostics engine (`dsm-diagnose`) never has to
+//! guess where a window starts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::detector::ClassifiedInterval;
+
+/// One node's classified-interval sequence, in interval-index order with no
+/// gaps. The building block every cross-node analysis consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStream {
+    node: usize,
+    /// Interval index of `intervals[0]` (streams may be windowed: the
+    /// prefix before `first_index` has been evicted, not lost track of).
+    first_index: u64,
+    intervals: Vec<ClassifiedInterval>,
+}
+
+/// Pushing an interval that does not extend the stream contiguously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The interval's `proc` is not this stream's node.
+    WrongNode { node: usize, got: usize },
+    /// The interval's `index` is not the next expected index.
+    Gap { expected: u64, got: u64 },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::WrongNode { node, got } => {
+                write!(f, "stream for node {node} offered interval from node {got}")
+            }
+            StreamError::Gap { expected, got } => {
+                write!(f, "stream expected interval index {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl PhaseStream {
+    /// An empty stream for `node`; the first pushed interval fixes the
+    /// starting index.
+    pub fn new(node: usize) -> Self {
+        Self { node, first_index: 0, intervals: Vec::new() }
+    }
+
+    /// Adopt an already-ordered interval sequence (the offline pass builds
+    /// streams from whole captured traces). Panics if any entry is for the
+    /// wrong node or out of index order — offline inputs are programmer
+    /// errors, not runtime conditions.
+    pub fn from_intervals(node: usize, intervals: Vec<ClassifiedInterval>) -> Self {
+        let first_index = intervals.first().map_or(0, |c| c.index);
+        let mut s = Self { node, first_index, intervals: Vec::with_capacity(intervals.len()) };
+        for c in intervals {
+            s.push(c).expect("offline stream must be contiguous and node-pure");
+        }
+        s
+    }
+
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Interval index of the first retained interval.
+    pub fn first_index(&self) -> u64 {
+        self.first_index
+    }
+
+    /// Index one past the last retained interval (`first_index` when
+    /// empty).
+    pub fn next_index(&self) -> u64 {
+        self.first_index + self.intervals.len() as u64
+    }
+
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The retained intervals, in index order.
+    pub fn intervals(&self) -> &[ClassifiedInterval] {
+        &self.intervals
+    }
+
+    /// Iterate the retained intervals in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ClassifiedInterval> {
+        self.intervals.iter()
+    }
+
+    /// Append the next classified interval. The first push fixes the
+    /// stream's starting index; every later push must carry the next
+    /// consecutive index for this node, or the push is refused and the
+    /// stream is unchanged.
+    pub fn push(&mut self, c: ClassifiedInterval) -> Result<(), StreamError> {
+        if c.proc != self.node {
+            return Err(StreamError::WrongNode { node: self.node, got: c.proc });
+        }
+        if self.intervals.is_empty() {
+            self.first_index = c.index;
+        } else if c.index != self.next_index() {
+            return Err(StreamError::Gap { expected: self.next_index(), got: c.index });
+        }
+        self.intervals.push(c);
+        Ok(())
+    }
+
+    /// Evict everything before interval index `index` (windowing). The
+    /// retained suffix keeps its true indices; `first_index` advances.
+    pub fn evict_to(&mut self, index: u64) {
+        let drop = index.saturating_sub(self.first_index).min(self.intervals.len() as u64);
+        if drop > 0 {
+            self.intervals.drain(..drop as usize);
+            self.first_index += drop;
+        }
+    }
+
+    /// Keep only the most recent `window` intervals.
+    pub fn truncate_front(&mut self, window: usize) {
+        if self.intervals.len() > window {
+            self.evict_to(self.next_index() - window as u64);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PhaseStream {
+    type Item = &'a ClassifiedInterval;
+    type IntoIter = std::slice::Iter<'a, ClassifiedInterval>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.intervals.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ci(proc: usize, index: u64, phase_id: u32) -> ClassifiedInterval {
+        ClassifiedInterval { proc, index, phase_id, is_new_phase: false, cpi: 1.0, degraded: false }
+    }
+
+    #[test]
+    fn push_enforces_node_and_contiguity() {
+        let mut s = PhaseStream::new(2);
+        assert_eq!(s.push(ci(1, 0, 0)), Err(StreamError::WrongNode { node: 2, got: 1 }));
+        s.push(ci(2, 5, 0)).unwrap(); // first push fixes the start
+        assert_eq!(s.first_index(), 5);
+        assert_eq!(s.push(ci(2, 7, 0)), Err(StreamError::Gap { expected: 6, got: 7 }));
+        s.push(ci(2, 6, 1)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.next_index(), 7);
+    }
+
+    #[test]
+    fn windowing_keeps_true_indices() {
+        let mut s = PhaseStream::new(0);
+        for i in 0..10 {
+            s.push(ci(0, i, i as u32)).unwrap();
+        }
+        s.truncate_front(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.first_index(), 6);
+        assert_eq!(s.intervals()[0].index, 6);
+        s.evict_to(8);
+        assert_eq!((s.first_index(), s.len()), (8, 2));
+        // Evicting past the end empties but never underflows.
+        s.evict_to(100);
+        assert!(s.is_empty());
+        assert_eq!(s.first_index(), 10);
+        // An emptied stream re-anchors on the next push.
+        s.push(ci(0, 10, 0)).unwrap();
+        assert_eq!(s.first_index(), 10);
+    }
+
+    #[test]
+    fn from_intervals_round_trips() {
+        let v: Vec<_> = (3..8).map(|i| ci(1, i, (i % 2) as u32)).collect();
+        let s = PhaseStream::from_intervals(1, v.clone());
+        assert_eq!(s.intervals(), &v[..]);
+        assert_eq!(s.first_index(), 3);
+        assert_eq!(s.iter().count(), 5);
+    }
+}

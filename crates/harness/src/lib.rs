@@ -20,6 +20,9 @@
 //!   reconfigurations (page migration, DVFS epochs, big/little cores);
 //! * [`faults`] — the fault-injection robustness sweep: CoV-of-CPI
 //!   degradation vs a fault-free golden run, with conservation checks;
+//! * [`diagnose`] — cross-node phase-similarity diagnostics: straggler
+//!   detection and root-cause attribution from classified-interval
+//!   streams, offline over the capture corpus;
 //! * [`topology`] — the interconnect-layout sweep: detector quality and
 //!   per-directed-link demand across hypercube, mesh, torus, ring, and
 //!   fat-tree fabrics;
@@ -36,6 +39,7 @@
 
 pub mod adapt;
 pub mod adaptive;
+pub mod diagnose;
 pub mod experiment;
 pub mod faults;
 pub mod figures;

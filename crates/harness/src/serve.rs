@@ -18,12 +18,14 @@
 //!
 //! Everything is a pure function of the scenario: same knobs, same bytes.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 use dsm_phase::detector::DetectorMode;
 use dsm_phase::signature::IntervalSignature;
-use dsm_phase::Thresholds;
+use dsm_phase::stream::PhaseStream;
+use dsm_phase::{ClassifiedInterval, Thresholds};
 use dsm_serve::{Ingest, PhaseServer, ServeConfig, SynthStream, TenantConfig, TenantId};
 use dsm_sim::util::splitmix64;
 use dsm_workloads::App;
@@ -267,6 +269,29 @@ struct Active {
     stalled_until: u64,
 }
 
+/// Window kept per reassembled node stream (bounds soak memory; eviction
+/// keeps the true interval indices, so contiguity stays checkable).
+const STREAM_WINDOW: usize = 256;
+
+/// Route one drain's worth of classified intervals into the tenant's
+/// per-node [`PhaseStream`]s. The shared stream type enforces per-node
+/// interval-index contiguity, so any batch/stall/churn path that dropped or
+/// reordered an originating interval index would panic here instead of
+/// silently skewing downstream consumers.
+fn route_drained(
+    streams: &mut HashMap<TenantId, Vec<PhaseStream>>,
+    id: TenantId,
+    drained: &[ClassifiedInterval],
+) {
+    let per_node = streams.get_mut(&id).expect("streams registered at admit");
+    for c in drained {
+        per_node[c.proc]
+            .push(c.clone())
+            .unwrap_or_else(|e| panic!("tenant {id}: delivery broke stream contiguity: {e:?}"));
+        per_node[c.proc].truncate_front(STREAM_WINDOW);
+    }
+}
+
 /// Run a scenario to completion: every admitted tenant either finishes its
 /// script (offered, classified, drained) or is churned out with its
 /// in-flight work accounted. Panics if the fleet stops making progress.
@@ -297,14 +322,20 @@ pub fn run_scenario(sc: &ServeScenario) -> (ServeOutcome, ServeTiming) {
     };
 
     let mut active: Vec<Active> = Vec::new();
+    let mut streams: HashMap<TenantId, Vec<PhaseStream>> = HashMap::new();
     let mut pending = 0usize; // next script to admit
-    let admit = |srv: &mut PhaseServer, active: &mut Vec<Active>, pending: &mut usize| {
-        let id = srv.admit(scripts[*pending].cfg).expect("admission under max_tenants");
+    let admit = |srv: &mut PhaseServer,
+                 active: &mut Vec<Active>,
+                 streams: &mut HashMap<TenantId, Vec<PhaseStream>>,
+                 pending: &mut usize| {
+        let cfg = scripts[*pending].cfg;
+        let id = srv.admit(cfg).expect("admission under max_tenants");
+        streams.insert(id, (0..cfg.n_procs).map(PhaseStream::new).collect());
         active.push(Active { id, script: *pending, next: 0, stalled_until: 0 });
         *pending += 1;
     };
     while active.len() < sc.concurrent {
-        admit(&mut srv, &mut active, &mut pending);
+        admit(&mut srv, &mut active, &mut streams, &mut pending);
         out.admitted += 1;
     }
 
@@ -366,7 +397,9 @@ pub fn run_scenario(sc: &ServeScenario) -> (ServeOutcome, ServeTiming) {
                 out.skipped_drains += 1;
                 continue;
             }
-            out.delivered += srv.drain_output(t.id, usize::MAX).expect("drain").len() as u64;
+            let drained = srv.drain_output(t.id, usize::MAX).expect("drain");
+            route_drained(&mut streams, t.id, &drained);
+            out.delivered += drained.len() as u64;
         }
 
         out.peak_resident_footprint =
@@ -382,14 +415,16 @@ pub fn run_scenario(sc: &ServeScenario) -> (ServeOutcome, ServeTiming) {
             if done {
                 // Final drain: a slow-consumer draw must not strand output.
                 let t = &active[i];
-                out.delivered +=
-                    srv.drain_output(t.id, usize::MAX).expect("drain").len() as u64;
+                let drained = srv.drain_output(t.id, usize::MAX).expect("drain");
+                route_drained(&mut streams, t.id, &drained);
+                out.delivered += drained.len() as u64;
                 let summary = srv.evict(t.id).expect("evict live tenant");
+                streams.remove(&t.id);
                 out.abandoned += summary.pending + summary.undelivered;
                 out.evicted += 1;
                 active.remove(i);
                 if pending < sc.tenants {
-                    admit(&mut srv, &mut active, &mut pending);
+                    admit(&mut srv, &mut active, &mut streams, &mut pending);
                     out.admitted += 1;
                 }
             } else {
@@ -401,10 +436,11 @@ pub fn run_scenario(sc: &ServeScenario) -> (ServeOutcome, ServeTiming) {
         if sc.churn_every > 0 && round.is_multiple_of(sc.churn_every) && pending < sc.tenants {
             if let Some(t) = active.first() {
                 let summary = srv.evict(t.id).expect("evict live tenant");
+                streams.remove(&t.id);
                 out.abandoned += summary.pending + summary.undelivered;
                 out.evicted += 1;
                 active.remove(0);
-                admit(&mut srv, &mut active, &mut pending);
+                admit(&mut srv, &mut active, &mut streams, &mut pending);
                 out.admitted += 1;
             }
         }
@@ -551,6 +587,7 @@ mod tests {
                 batch_size: 2,
                 max_tenants: 8,
                 per_tenant_metrics: false,
+                diagnose_window: 0,
             },
             disturb: DisturbPlan::mixed(11),
             seed: 11,

@@ -29,6 +29,7 @@ fn soak_scenario() -> ServeScenario {
             batch_size: 4,
             max_tenants: 128,
             per_tenant_metrics: false,
+            diagnose_window: 0,
         },
         disturb: DisturbPlan::mixed(0xdead_beef),
         seed: 0xdead_beef,

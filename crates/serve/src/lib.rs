@@ -12,7 +12,12 @@
 //!
 //! * [`server`] — [`PhaseServer`]: admit/offer/run_batch/drain/evict, with
 //!   conservation-checked accounting and tick-based deterministic latency.
-//! * [`tenant`] — per-tenant configuration, state, and accounting.
+//! * [`tenant`] — per-tenant configuration, state, and accounting. With
+//!   [`ServeConfig::diagnose_window`] set, each tenant also carries a
+//!   [`dsm_diagnose::DiagnosisSink`] fed at classification time —
+//!   upstream of the output buffer, so a stalled consumer never skews the
+//!   diagnosis window — surfaced via
+//!   [`PhaseServer::tenant_diagnosis`](server::PhaseServer::tenant_diagnosis).
 //! * [`synth`] — deterministic phase-structured synthetic signature
 //!   streams for load beyond what the trace corpus holds.
 //!
@@ -26,6 +31,8 @@ pub mod server;
 pub mod synth;
 pub mod tenant;
 
-pub use server::{AdmitError, Ingest, PhaseServer, ServeConfig, ServeError, ServerReport};
+pub use server::{
+    AdmitError, Ingest, PhaseServer, ServeConfig, ServeError, ServerReport, TenantDiagnosis,
+};
 pub use synth::SynthStream;
 pub use tenant::{TenantConfig, TenantId, TenantStats, TenantSummary};

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 
+use dsm_diagnose::{Diagnosis, NodeTelemetry};
 use dsm_phase::signature::IntervalSignature;
 use dsm_phase::ClassifiedInterval;
 use dsm_telemetry::{MetricsRegistry, Snapshot, SpanSink};
@@ -49,6 +50,12 @@ pub struct ServeConfig {
     /// `serve/tenant/<id>/...`. Costs registry space per tenant; off for
     /// large fleets, on for debugging a few tenants.
     pub per_tenant_metrics: bool,
+    /// Cross-node diagnosis window in intervals per node; `0` disables the
+    /// per-tenant [`DiagnosisSink`](dsm_diagnose::DiagnosisSink). The sink
+    /// observes intervals at classification time — upstream of the output
+    /// buffer — so a slow consumer stalls delivery but never the diagnosis
+    /// window.
+    pub diagnose_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +67,7 @@ impl Default for ServeConfig {
             batch_size: 32,
             max_tenants: 4096,
             per_tenant_metrics: false,
+            diagnose_window: 0,
         }
     }
 }
@@ -161,6 +169,13 @@ impl Shard {
                     break;
                 };
                 let c = slot.bank.classify_signature(&sig);
+                if let Some(d) = slot.diag.as_mut() {
+                    d.observe(&c);
+                    if let Some(p) = slot.probes {
+                        self.reg.add(p.diag_observed, 1);
+                        self.reg.set(p.diag_realigns, d.realigns() as f64);
+                    }
+                }
                 slot.output.push_back(c);
                 slot.stats.classified += 1;
                 slot.stats.output_high_water =
@@ -178,6 +193,24 @@ impl Shard {
         }
         classified
     }
+}
+
+/// One tenant's cross-node diagnosis as served by
+/// [`tenant_diagnosis`](PhaseServer::tenant_diagnosis): the engine's
+/// [`Diagnosis`] over the retained window plus the sink's own accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantDiagnosis {
+    pub tenant: TenantId,
+    /// Server tick at which the diagnosis was taken.
+    pub tick: u64,
+    /// Configured window, in intervals per node.
+    pub window: usize,
+    /// Intervals observed by the sink so far (all nodes).
+    pub observed: u64,
+    /// Window re-anchors after non-consecutive interval indices — zero on a
+    /// correct producer.
+    pub realigns: u64,
+    pub diagnosis: Diagnosis,
 }
 
 /// A point-in-time summary of the whole server (live + retired tenants).
@@ -258,7 +291,7 @@ impl PhaseServer {
             .cfg
             .per_tenant_metrics
             .then(|| TenantProbes::register(&mut shard.reg, id));
-        let state = TenantState::new(id, cfg, probes);
+        let state = TenantState::new(id, cfg, probes, self.cfg.diagnose_window);
         let slot = match shard.free.pop() {
             Some(s) => {
                 shard.slots[s] = Some(state);
@@ -386,6 +419,36 @@ impl PhaseServer {
         let out: Vec<ClassifiedInterval> = t.output.drain(..n).collect();
         t.stats.delivered += out.len() as u64;
         Ok(out)
+    }
+
+    /// Run the cross-node diagnosis over a tenant's retained window.
+    /// `Ok(None)` when the server runs with `diagnose_window == 0`;
+    /// `telemetry`, when supplied, must be indexed by the tenant's node
+    /// (proc) ids. Also refreshes the tenant's
+    /// `serve/tenant/<id>/diagnose/outliers` gauge.
+    pub fn tenant_diagnosis(
+        &mut self,
+        id: TenantId,
+        telemetry: Option<&[NodeTelemetry]>,
+    ) -> Result<Option<TenantDiagnosis>, ServeError> {
+        let tick = self.tick;
+        let (shard, slot) = self.tenant_mut(id)?;
+        let t = shard.slots[slot].as_mut().expect("directory points at live slot");
+        let Some(d) = t.diag.as_ref() else {
+            return Ok(None);
+        };
+        let diagnosis = d.diagnose(telemetry);
+        if let Some(p) = t.probes {
+            shard.reg.set(p.diag_outliers, diagnosis.outliers.len() as f64);
+        }
+        Ok(Some(TenantDiagnosis {
+            tenant: id,
+            tick,
+            window: d.window(),
+            observed: d.observed(),
+            realigns: d.realigns(),
+            diagnosis,
+        }))
     }
 
     /// Current ingest-queue depth of a tenant.

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
+use dsm_diagnose::{DiagnoseConfig, DiagnosisSink};
 use dsm_phase::detector::{DetectorMode, Thresholds};
 use dsm_phase::signature::{ClassifierBank, IntervalSignature};
 use dsm_phase::ClassifiedInterval;
@@ -119,6 +120,15 @@ pub(crate) struct TenantProbes {
     pub busy: CounterId,
     pub queue_depth: GaugeId,
     pub latency: HistId,
+    /// Intervals the diagnosis sink has observed
+    /// (`serve/tenant/<id>/diagnose/observed`).
+    pub diag_observed: CounterId,
+    /// Window re-anchors after a non-consecutive interval index — zero on a
+    /// correct producer (`serve/tenant/<id>/diagnose/realigns`).
+    pub diag_realigns: GaugeId,
+    /// Outliers in the most recent on-demand diagnosis
+    /// (`serve/tenant/<id>/diagnose/outliers`).
+    pub diag_outliers: GaugeId,
 }
 
 impl TenantProbes {
@@ -130,6 +140,9 @@ impl TenantProbes {
             busy: scope.counter("busy"),
             queue_depth: scope.gauge("queue_depth"),
             latency: scope.histogram("latency_ticks"),
+            diag_observed: scope.counter("diagnose/observed"),
+            diag_realigns: scope.gauge("diagnose/realigns"),
+            diag_outliers: scope.gauge("diagnose/outliers"),
         }
     }
 }
@@ -148,10 +161,19 @@ pub(crate) struct TenantState {
     pub output: VecDeque<ClassifiedInterval>,
     pub stats: TenantStats,
     pub probes: Option<TenantProbes>,
+    /// Cross-node similarity state, fed at classification time (never from
+    /// the drain path, so a stalled consumer cannot skew the window). `None`
+    /// when the server runs with `diagnose_window == 0`.
+    pub diag: Option<DiagnosisSink>,
 }
 
 impl TenantState {
-    pub(crate) fn new(id: TenantId, cfg: TenantConfig, probes: Option<TenantProbes>) -> Self {
+    pub(crate) fn new(
+        id: TenantId,
+        cfg: TenantConfig,
+        probes: Option<TenantProbes>,
+        diagnose_window: usize,
+    ) -> Self {
         Self {
             id,
             cfg,
@@ -165,6 +187,8 @@ impl TenantState {
             output: VecDeque::new(),
             stats: TenantStats::default(),
             probes,
+            diag: (diagnose_window > 0)
+                .then(|| DiagnosisSink::new(cfg.n_procs, diagnose_window, DiagnoseConfig::default())),
         }
     }
 }

@@ -173,6 +173,26 @@ pub struct FaultPlan {
     /// fraction of the raw miss latency in 1/256 units (integer arithmetic
     /// like [`CoreConfig::stall_exposure_num`]).
     pub slowdown_extra_num: u64,
+    /// Issue-throttle numerator: inside a slowdown window the node also
+    /// pays `insns * num / 256` extra cycles per committed instruction —
+    /// a clock-throttle model that slows compute-bound nodes too, where
+    /// `slowdown_extra_num` alone only amplifies exposed miss stalls
+    /// (0 = stall amplification only). Multiples of 256 keep the charge
+    /// exact per instruction and therefore invariant to how the scheduler
+    /// chunks commits.
+    pub slowdown_issue_num: u64,
+    /// Restrict slowdown epochs to one node (`None` = every node draws from
+    /// the per-(node, epoch) hash as before). With `slowdown_ppm` at 1e6
+    /// this turns the stochastic slowdown model into a targeted straggler —
+    /// the ground truth the diagnostics layer is validated against.
+    #[serde(default)]
+    pub slowdown_node: Option<usize>,
+    /// First cycle at which slowdown epochs may fire (0 = from the start).
+    #[serde(default)]
+    pub slowdown_from_cycle: u64,
+    /// Cycle bound past which slowdown epochs stop firing (0 = unbounded).
+    #[serde(default)]
+    pub slowdown_until_cycle: u64,
     /// Retransmission policy for lost messages.
     pub retry: RetryPolicy,
 }
@@ -190,6 +210,10 @@ impl FaultPlan {
             slowdown_ppm: 0,
             slowdown_window_cycles: 0,
             slowdown_extra_num: 0,
+            slowdown_issue_num: 0,
+            slowdown_node: None,
+            slowdown_from_cycle: 0,
+            slowdown_until_cycle: 0,
             retry: RetryPolicy::default_paper(),
         }
     }
@@ -211,6 +235,26 @@ impl FaultPlan {
             slowdown_ppm: Self::ppm(rate),
             slowdown_window_cycles: 50_000,
             slowdown_extra_num: 128, // +50 % exposed stall while slowed
+            ..Self::none()
+        }
+    }
+
+    /// A targeted straggler: exactly `node` runs slow (every epoch fires —
+    /// `slowdown_ppm` is 1), paying a +75 % exposed-stall penalty *and* an
+    /// issue throttle of +4 cycles per committed instruction, inside the
+    /// cycle window `[from_cycle, until_cycle)` (`until_cycle` 0 =
+    /// unbounded). No message faults. This is the deterministic ground
+    /// truth for the diagnostics layer's blind-localization gate.
+    pub fn straggler(seed: u64, node: usize, from_cycle: u64, until_cycle: u64) -> Self {
+        Self {
+            seed,
+            slowdown_ppm: 1_000_000,
+            slowdown_window_cycles: 50_000,
+            slowdown_extra_num: 192,
+            slowdown_issue_num: 1024, // +4 cycles per committed instruction
+            slowdown_node: Some(node),
+            slowdown_from_cycle: from_cycle,
+            slowdown_until_cycle: until_cycle,
             ..Self::none()
         }
     }
@@ -248,6 +292,9 @@ impl FaultPlan {
         }
         if self.slowdown_ppm > 0 && self.slowdown_window_cycles == 0 {
             return Err("slowdown enabled but slowdown_window_cycles is 0".into());
+        }
+        if self.slowdown_until_cycle != 0 && self.slowdown_until_cycle <= self.slowdown_from_cycle {
+            return Err("slowdown_until_cycle must exceed slowdown_from_cycle (or be 0)".into());
         }
         if self.is_active() && self.retry.timeout_cycles == 0 {
             return Err("retry timeout must be nonzero when faults are active".into());

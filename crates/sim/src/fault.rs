@@ -307,21 +307,58 @@ impl FaultState {
     ///
     /// Windows are a stateless hash of `(seed, node, epoch)` so repeated
     /// queries within one epoch agree and runs are reproducible regardless
-    /// of query order.
+    /// of query order. A targeted plan ([`FaultPlan::straggler`]) narrows
+    /// the draw to one node and a cycle window before the hash is even
+    /// consulted — the untargeted path is bit-identical to before.
     #[inline]
     pub fn slowdown_extra(&mut self, p: usize, now: u64, raw_stall: u64) -> u64 {
-        if !self.active || self.plan.slowdown_ppm == 0 {
-            return 0;
-        }
-        let epoch = now / self.plan.slowdown_window_cycles;
-        let h = splitmix64(self.plan.seed ^ (p as u64 + 1).wrapping_mul(PHI) ^ epoch.rotate_left(32));
-        if (h % 1_000_000) as u32 >= self.plan.slowdown_ppm {
+        if !self.active || self.plan.slowdown_ppm == 0 || !self.in_slowdown_window(p, now) {
             return 0;
         }
         let extra = raw_stall * self.plan.slowdown_extra_num / 256;
         self.stats.slowdown_events += 1;
         self.stats.slowdown_cycles += extra;
         extra
+    }
+
+    /// Extra issue cycles node `p` pays for committing `insns` instructions
+    /// at cycle `now` (0 outside a slowdown window, or when the plan's
+    /// [`slowdown_issue_num`](crate::config::FaultPlan::slowdown_issue_num)
+    /// is 0). Models a clock throttle: unlike [`Self::slowdown_extra`] it
+    /// slows a node even when its working set fits in cache.
+    #[inline]
+    pub fn issue_extra(&mut self, p: usize, now: u64, insns: u64) -> u64 {
+        if !self.active
+            || self.plan.slowdown_ppm == 0
+            || self.plan.slowdown_issue_num == 0
+            || !self.in_slowdown_window(p, now)
+        {
+            return 0;
+        }
+        let extra = insns * self.plan.slowdown_issue_num / 256;
+        self.stats.slowdown_events += 1;
+        self.stats.slowdown_cycles += extra;
+        extra
+    }
+
+    /// Whether node `p` at cycle `now` is inside a firing slowdown epoch
+    /// (target-node, cycle-window, and per-epoch hash gates; the caller
+    /// checks `slowdown_ppm > 0` first so the window division is safe).
+    #[inline]
+    fn in_slowdown_window(&self, p: usize, now: u64) -> bool {
+        if let Some(node) = self.plan.slowdown_node {
+            if p != node {
+                return false;
+            }
+        }
+        if now < self.plan.slowdown_from_cycle
+            || (self.plan.slowdown_until_cycle != 0 && now >= self.plan.slowdown_until_cycle)
+        {
+            return false;
+        }
+        let epoch = now / self.plan.slowdown_window_cycles;
+        let h = splitmix64(self.plan.seed ^ (p as u64 + 1).wrapping_mul(PHI) ^ epoch.rotate_left(32));
+        ((h % 1_000_000) as u32) < self.plan.slowdown_ppm
     }
 }
 
@@ -482,6 +519,48 @@ mod tests {
         assert_eq!(s.msgs, 2, "both copies consume bandwidth");
         assert_eq!(s.payload_msgs, 2);
         assert_eq!(s.total_hops, net.hops(0, 5) as u64, "hops counted once per delivery");
+    }
+
+    #[test]
+    fn straggler_plan_slows_only_the_target_inside_the_window() {
+        let plan = FaultPlan::straggler(17, 3, 100_000, 400_000);
+        assert!(plan.validate().is_ok());
+        assert!(plan.is_active());
+        let mut f = FaultState::new(plan);
+        // Every epoch fires for the target inside [from, until).
+        assert_eq!(f.slowdown_extra(3, 100_000, 256), 256 * 192 / 256);
+        assert_eq!(f.slowdown_extra(3, 399_999, 512), 512 * 192 / 256);
+        // Outside the window, or on any other node: inert.
+        assert_eq!(f.slowdown_extra(3, 99_999, 256), 0);
+        assert_eq!(f.slowdown_extra(3, 400_000, 256), 0);
+        for p in [0usize, 1, 2, 4, 15] {
+            assert_eq!(f.slowdown_extra(p, 200_000, 256), 0, "node {p} must stay clean");
+        }
+        let s = f.stats();
+        assert_eq!(s.slowdown_events, 2);
+        assert_eq!(s.slowdown_cycles, 192 + 384);
+    }
+
+    #[test]
+    fn straggler_until_zero_is_unbounded() {
+        let mut f = FaultState::new(FaultPlan::straggler(1, 0, 0, 0));
+        assert!(f.slowdown_extra(0, u64::MAX / 2, 256) > 0);
+    }
+
+    #[test]
+    fn bad_straggler_window_rejected() {
+        let plan = FaultPlan::straggler(1, 0, 500, 500);
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn untargeted_plans_ignore_the_new_fields() {
+        // The stochastic slowdown model must be bit-identical to before the
+        // targeted-straggler extension: `none()`-derived plans leave the new
+        // fields inert.
+        let plan = FaultPlan::mixed(42, 0.2);
+        assert_eq!(plan.slowdown_node, None);
+        assert_eq!((plan.slowdown_from_cycle, plan.slowdown_until_cycle), (0, 0));
     }
 
     #[test]

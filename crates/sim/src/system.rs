@@ -314,7 +314,7 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         let mut batched = 0u64;
         let mut block_insns = 0u64;
         let mut fp_ops = 0u64;
-        let Self { procs, stream, observer, fetched, .. } = self;
+        let Self { procs, stream, observer, fetched, fault, .. } = self;
         let pr = &mut procs[p];
         let tail = loop {
             let ev = stream.next(p);
@@ -341,6 +341,16 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
         }
         if fp_ops > 0 {
             pr.commit_fp(fp_ops);
+        }
+        // Issue throttle for the batched commits (the terminating tail is
+        // charged on its own dispatch). `slowdown_issue_num` is exact per
+        // instruction for multiples of 256, so batch chunking cannot change
+        // the total charge.
+        if block_insns + fp_ops > 0 {
+            let extra = fault.issue_extra(p, pr.cycle, block_insns + fp_ops);
+            if extra > 0 {
+                pr.cycle += extra;
+            }
         }
         // The batch plus its terminating tail all came off the stream.
         fetched[p] += batched + 1;
@@ -415,6 +425,13 @@ impl<S: InstructionStream, O: SimObserver> System<S, O> {
 
     #[inline]
     fn advance_interval(&mut self, p: usize, insns: u64) {
+        // Issue throttle (targeted slowdown plans): charge before the
+        // interval-completion check so the extra cycles attribute to the
+        // interval these instructions belong to.
+        let extra = self.fault.issue_extra(p, self.procs[p].cycle, insns);
+        if extra > 0 {
+            self.procs[p].cycle += extra;
+        }
         if let Some((index, insns, cycles)) = self.procs[p].advance_interval(insns) {
             // Interval span: `[start, end)` on node p's interval track.
             let end = self.procs[p].cycle;

@@ -1,4 +1,4 @@
-//! Versioned, deterministic binary checkpoint codec (`DSMCKPT4`).
+//! Versioned, deterministic binary checkpoint codec (`DSMCKPT5`).
 //!
 //! A checkpoint is the pair (simulator state, detector-collector state) at a
 //! global interval boundary, plus the metadata needed to rebuild the machine
@@ -40,8 +40,10 @@ use dsm_workloads::{App, Scale};
 /// per-processor core profiles, home-map migration overrides and touch
 /// counters, the DVFS/reconfiguration snapshot, and an optional
 /// [`AdaptSnap`] so a checkpoint taken mid-tuning resumes the §II protocol
-/// bit-exactly.
-pub const MAGIC: &[u8; 8] = b"DSMCKPT4";
+/// bit-exactly. Version 5 carries the targeted-straggler fault-plan fields
+/// (`slowdown_node`, `slowdown_from_cycle`, `slowdown_until_cycle`) the
+/// diagnostics layer's ground-truth plans use.
+pub const MAGIC: &[u8; 8] = b"DSMCKPT5";
 
 /// The version-independent format prefix shared by every `DSMCKPT` version.
 const MAGIC_FAMILY: &[u8; 7] = b"DSMCKPT";
@@ -70,7 +72,7 @@ pub enum CkptError {
 impl std::fmt::Display for CkptError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CkptError::BadMagic => write!(f, "not a DSMCKPT4 checkpoint (bad magic)"),
+            CkptError::BadMagic => write!(f, "not a DSMCKPT5 checkpoint (bad magic)"),
             CkptError::UnsupportedVersion { version } => {
                 write!(f, "unsupported DSMCKPT version {:?}", *version as char)
             }
@@ -912,7 +914,7 @@ fn get_adapt(r: &mut R) -> D<AdaptSnap> {
 }
 
 impl Checkpoint {
-    /// Serialize to the `DSMCKPT4` byte format. Deterministic: the same
+    /// Serialize to the `DSMCKPT5` byte format. Deterministic: the same
     /// checkpoint always encodes to the same bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = W { out: Vec::with_capacity(4096) };
@@ -940,6 +942,10 @@ impl Checkpoint {
         w.u64(p.slowdown_ppm as u64);
         w.u64(p.slowdown_window_cycles);
         w.u64(p.slowdown_extra_num);
+        w.u64(p.slowdown_issue_num);
+        w.opt_u64(p.slowdown_node.map(|n| n as u64));
+        w.u64(p.slowdown_from_cycle);
+        w.u64(p.slowdown_until_cycle);
         w.u64(p.retry.timeout_cycles);
         w.u64(p.retry.max_backoff_cycles);
         w.u64(p.retry.max_retries as u64);
@@ -960,7 +966,7 @@ impl Checkpoint {
         w.out
     }
 
-    /// Decode a `DSMCKPT4` buffer. Total: any input yields `Ok` or a typed
+    /// Decode a `DSMCKPT5` buffer. Total: any input yields `Ok` or a typed
     /// [`CkptError`]; never panics, never over-allocates on hostile lengths.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
         if bytes.len() < MAGIC.len() || &bytes[..MAGIC_FAMILY.len()] != MAGIC_FAMILY {
@@ -1000,6 +1006,10 @@ impl Checkpoint {
             slowdown_ppm: r.u32_checked("slowdown_ppm")?,
             slowdown_window_cycles: r.u64()?,
             slowdown_extra_num: r.u64()?,
+            slowdown_issue_num: r.u64()?,
+            slowdown_node: r.opt_u64("slowdown_node")?.map(|n| n as usize),
+            slowdown_from_cycle: r.u64()?,
+            slowdown_until_cycle: r.u64()?,
             retry: RetryPolicy {
                 timeout_cycles: r.u64()?,
                 max_backoff_cycles: r.u64()?,
@@ -1231,6 +1241,22 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_carries_targeted_straggler_plan() {
+        // Version 5's reason to exist: the targeted-slowdown fields survive
+        // the round trip, `Some` and `None` alike (the `None` arm rides in
+        // every other test via `FaultPlan::mixed`).
+        let mut ck = sample_checkpoint();
+        ck.meta.plan = FaultPlan::straggler(99, 1, 10_000, 90_000);
+        let bytes = ck.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back.meta.plan.slowdown_node, Some(1));
+        assert_eq!(back.meta.plan.slowdown_from_cycle, 10_000);
+        assert_eq!(back.meta.plan.slowdown_until_cycle, 90_000);
+        assert_eq!(back, ck);
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
     fn roundtrip_with_adapt_section() {
         let mut ck = sample_checkpoint();
         ck.adapt = Some(sample_adapt());
@@ -1284,6 +1310,7 @@ mod tests {
             (b"DSMCKPT1\x00\x01\x02\x03", b'1'),
             (b"DSMCKPT2\x00\x01\x02\x03", b'2'),
             (b"DSMCKPT3\x00\x01\x02\x03", b'3'),
+            (b"DSMCKPT4\x00\x01\x02\x03", b'4'),
             (b"DSMCKPT9garbage", b'9'),
         ] {
             assert_eq!(

@@ -1,4 +1,4 @@
-//! Property tests for the `DSMCKPT4` checkpoint codec: decoding is *total*
+//! Property tests for the `DSMCKPT5` checkpoint codec: decoding is *total*
 //! (any input — random bytes, corrupted checkpoints, truncations — yields a
 //! typed error or a valid checkpoint, never a panic), and the encoding is
 //! canonical (whatever decodes re-encodes to the identical bytes).
